@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module regenerates one paper table/figure (plus ablations beyond
+the paper).  Heavy protocol operations use ``benchmark.pedantic`` with
+a few rounds — SECOA_S's source phase takes *seconds* per call at the
+paper's parameters, which is precisely the point being measured.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel.microbench import measure_constants
+from repro.datasets.workload import DomainScaledWorkload
+
+
+@pytest.fixture(scope="session")
+def host_constants():
+    """This host's Table II constants (measured once per session)."""
+    return measure_constants()
+
+
+@pytest.fixture(scope="session")
+def paper_default_workload():
+    """N=1024 sources over the default domain [1800, 5000]."""
+    return DomainScaledWorkload(1024, scale=100, seed=2011)

@@ -1,0 +1,78 @@
+"""Ablation — SECOA_S's sketch count J (accuracy/cost trade-off).
+
+The paper fixes J=300 to bound the relative error within 10% w.p. 90%
+(following [8]).  This ablation sweeps J and shows what the paper
+buys/pays: source cost and internal-edge bytes scale linearly in J,
+while the SUM estimate tightens — making explicit why SIES's *exact*
+32-byte answers dominate the entire trade-off curve.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.baselines.secoa.secoa_sum import SECOASumProtocol
+from repro.baselines.secoa.sketch import SketchStrategy, estimate_sum, sample_sketch_level
+from repro.datasets.workload import UniformWorkload
+
+N = 256
+WORKLOAD = UniformWorkload(N, 1800, 5000, seed=14)
+J_SWEEP = (30, 100, 300)
+
+
+@pytest.mark.parametrize("j", J_SWEEP)
+@pytest.mark.benchmark(group="ablation-secoa-j")
+def test_source_cost_vs_j(benchmark, j: int) -> None:
+    protocol = SECOASumProtocol(
+        N, num_sketches=j, seed=15, strategy=SketchStrategy.CLOSED_FORM
+    )
+    source = protocol.create_source(0)
+    state = {"epoch": 0}
+
+    def run():
+        state["epoch"] += 1
+        return source.initialize(state["epoch"], WORKLOAD(0, state["epoch"]))
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("j", J_SWEEP)
+def test_internal_bytes_scale_linearly(j: int) -> None:
+    protocol = SECOASumProtocol(N, num_sketches=j, seed=16)
+    psr = protocol.create_source(0).initialize(1, 2000)
+    assert psr.wire_size() == j * 1 + j * 128 + 20
+
+
+def test_estimate_tightens_with_j() -> None:
+    """Mean absolute relative error decreases as J grows."""
+    true_count = 100_000
+    errors_by_j = {}
+    for j in J_SWEEP:
+        errors = []
+        for trial in range(8):
+            levels = [
+                sample_sketch_level(
+                    true_count, strategy=SketchStrategy.CLOSED_FORM,
+                    seed=17 + trial, labels=(str(j), str(sketch)),
+                )
+                for sketch in range(j)
+            ]
+            estimate = estimate_sum(levels)
+            errors.append(abs(estimate - true_count) / true_count)
+        errors_by_j[j] = statistics.fmean(errors)
+    # J=300 must be materially tighter than J=30 (allowing for the
+    # estimator's constant bias, which J cannot remove)
+    assert errors_by_j[300] <= errors_by_j[30] + 0.05
+
+
+def test_sies_dominates_every_point_of_the_tradeoff(host_constants) -> None:
+    from repro.costmodel.models import secoas_cost_bounds, sies_costs
+
+    sies = sies_costs(host_constants, num_sources=N, fanout=4)
+    for j in J_SWEEP:
+        lo, _ = secoas_cost_bounds(
+            host_constants, num_sources=N, fanout=4, num_sketches=j, domain=(1800, 5000)
+        )
+        assert lo.source > 10 * sies.source  # even at J=30, approximate loses

@@ -1,0 +1,61 @@
+"""Ablation — 4-byte vs 8-byte result field (paper footnote 1).
+
+The paper notes that applications whose SUM exceeds 2^32 - 1 should use
+an 8-byte field.  The wider field costs nothing measurable: the modulus
+stays a 256-bit prime (so the PSR stays 32 bytes) and the per-party
+operation counts are identical — this benchmark demonstrates both, plus
+the functional difference (the capacities).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import SIESProtocol
+from repro.datasets.workload import UniformWorkload
+from repro.errors import LayoutError
+
+N = 64
+WORKLOAD = UniformWorkload(N, 10, 1000, seed=9)
+
+
+@pytest.mark.parametrize("value_bytes", [4, 8])
+@pytest.mark.benchmark(group="ablation-value-width")
+def test_source_cost_vs_value_width(benchmark, value_bytes: int) -> None:
+    protocol = SIESProtocol(N, value_bytes=value_bytes, seed=10)
+    source = protocol.create_source(0)
+    state = {"epoch": 0}
+
+    def run():
+        state["epoch"] += 1
+        return source.initialize(state["epoch"], WORKLOAD(0, state["epoch"]))
+
+    benchmark.pedantic(run, rounds=20, iterations=1, warmup_rounds=2)
+
+
+@pytest.mark.parametrize("value_bytes", [4, 8])
+@pytest.mark.benchmark(group="ablation-value-width")
+def test_querier_cost_vs_value_width(benchmark, value_bytes: int) -> None:
+    protocol = SIESProtocol(N, value_bytes=value_bytes, seed=11)
+    psrs = [protocol.create_source(i).initialize(1, WORKLOAD(i, 1)) for i in range(N)]
+    final = protocol.create_aggregator().merge(1, psrs)
+    querier = protocol.create_querier()
+    benchmark.pedantic(querier.evaluate, args=(1, final), rounds=10, iterations=1)
+
+
+def test_wire_size_identical() -> None:
+    assert SIESProtocol(N, value_bytes=4, seed=12).psr_bytes == 32
+    assert SIESProtocol(N, value_bytes=8, seed=12).psr_bytes == 32
+
+
+def test_capacity_difference_is_the_point() -> None:
+    narrow = SIESProtocol(N, value_bytes=4, seed=13)
+    wide = SIESProtocol(N, value_bytes=8, seed=13)
+    assert narrow.params.max_result == 2**32 - 1
+    assert wide.params.max_result == 2**64 - 1
+    with pytest.raises(LayoutError):
+        narrow.create_source(0).initialize(1, 2**32)
+    big = 2**40
+    psrs = [wide.create_source(i).initialize(1, big) for i in range(N)]
+    final = wide.create_aggregator().merge(1, psrs)
+    assert wide.create_querier().evaluate(1, final).value == N * big

@@ -1,0 +1,57 @@
+"""Extension benchmark — commit-and-attest vs SIES at scale.
+
+Quantifies the paper's Section II-B scalability argument (see
+``repro.experiments.extension_scalability``): per-epoch CPU of the
+commit/attest phases and the communication blow-up relative to SIES's
+constant 32-byte edges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.commit_attest import (
+    CommitAttestProtocol,
+    CommitAttestSimulation,
+    CommitmentTree,
+)
+from repro.experiments.extension_scalability import run as run_extension
+from repro.network.topology import build_complete_tree
+
+SEED = 2011
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+@pytest.mark.benchmark(group="extension-commit-attest")
+def test_commitment_tree_build(benchmark, n: int) -> None:
+    values = [1800 + i % 3200 for i in range(n)]
+    benchmark.pedantic(CommitmentTree, args=(values, 1), rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("n", [64, 256])
+@pytest.mark.benchmark(group="extension-commit-attest")
+def test_full_epoch(benchmark, n: int) -> None:
+    protocol = CommitAttestProtocol(n, seed=SEED)
+    sim = CommitAttestSimulation(protocol, build_complete_tree(n, 4))
+    values = [1800 + i % 3200 for i in range(n)]
+    state = {"epoch": 0}
+
+    def run():
+        state["epoch"] += 1
+        return sim.run_epoch(state["epoch"], values)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.verified
+
+
+def test_scalability_series_shape() -> None:
+    report = run_extension(source_counts=(64, 256, 1024))
+    series = report.data["series"]
+    # SIES's hottest edge is constant; commit-and-attest's grows ~N log N
+    assert series["sies_max_edge"] == [32.0, 32.0, 32.0]
+    assert series["ca_max_edge"][1] > 4 * series["ca_max_edge"][0]
+    assert series["ca_max_edge"][2] > 4 * series["ca_max_edge"][1]
+    # total traffic gap widens with N
+    ratio_small = series["ca_total"][0] / series["sies_total"][0]
+    ratio_large = series["ca_total"][2] / series["sies_total"][2]
+    assert ratio_large > 2 * ratio_small

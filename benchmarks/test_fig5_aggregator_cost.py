@@ -1,0 +1,81 @@
+"""Figure 5 — computational cost at the aggregator vs. the fanout.
+
+Benchmarks one merge per scheme at F ∈ {2, 4, 6} (paper sweeps 2-6)
+with child PSRs prepared outside the timed region, and asserts the
+figure's shape: costs linear in F, SIES in the microseconds, SECOA_S
+roughly two orders of magnitude above.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.cmt import CMTProtocol
+from repro.baselines.secoa.secoa_sum import SECOASumProtocol
+from repro.core.protocol import SIESProtocol
+from repro.datasets.workload import DomainScaledWorkload
+
+N = 1024
+J = 300
+SEED = 2011
+WORKLOAD = DomainScaledWorkload(N, scale=100, seed=SEED)  # D = [1800, 5000]
+
+
+def _bench_merge(benchmark, protocol, fanout: int, rounds: int):
+    sources = [protocol.create_source(i) for i in range(fanout)]
+    aggregator = protocol.create_aggregator()
+    state = {"epoch": 0}
+
+    def setup():
+        state["epoch"] += 1
+        epoch = state["epoch"]
+        psrs = [s.initialize(epoch, WORKLOAD(s.source_id, epoch)) for s in sources]
+        return (epoch, psrs), {}
+
+    benchmark.pedantic(aggregator.merge, setup=setup, rounds=rounds, iterations=1)
+
+
+@pytest.mark.parametrize("fanout", [2, 4, 6])
+@pytest.mark.benchmark(group="fig5-aggregator")
+def test_sies_aggregator(benchmark, fanout: int) -> None:
+    _bench_merge(benchmark, SIESProtocol(N, seed=SEED), fanout, rounds=30)
+    assert benchmark.stats.stats.mean < 1e-3
+
+
+@pytest.mark.parametrize("fanout", [2, 4, 6])
+@pytest.mark.benchmark(group="fig5-aggregator")
+def test_cmt_aggregator(benchmark, fanout: int) -> None:
+    _bench_merge(benchmark, CMTProtocol(N, seed=SEED), fanout, rounds=30)
+
+
+@pytest.mark.parametrize("fanout", [2, 4, 6])
+@pytest.mark.benchmark(group="fig5-aggregator")
+def test_secoa_aggregator(benchmark, fanout: int) -> None:
+    protocol = SECOASumProtocol(N, num_sketches=J, seed=SEED)
+    _bench_merge(benchmark, protocol, fanout, rounds=3)
+
+
+def test_fig5_shape() -> None:
+    """Linear growth in F and the SIES-vs-SECOA gap, measured directly."""
+    import time
+
+    def merge_time(protocol, fanout: int, epochs: int = 5) -> float:
+        sources = [protocol.create_source(i) for i in range(fanout)]
+        aggregator = protocol.create_aggregator()
+        total = 0.0
+        for epoch in range(1, epochs + 1):
+            psrs = [s.initialize(epoch, WORKLOAD(s.source_id, epoch)) for s in sources]
+            start = time.perf_counter()
+            aggregator.merge(epoch, psrs)
+            total += time.perf_counter() - start
+        return total / epochs
+
+    sies = SIESProtocol(N, seed=SEED)
+    secoa = SECOASumProtocol(N, num_sketches=J, seed=SEED)
+    sies_f2, sies_f6 = merge_time(sies, 2), merge_time(sies, 6)
+    secoa_f2, secoa_f6 = merge_time(secoa, 2, epochs=2), merge_time(secoa, 6, epochs=2)
+    # growth with F (SECOA's folding count is exactly J*(F-1))
+    assert secoa_f6 > 1.5 * secoa_f2
+    # the gap at F=4-ish scale: ~2 orders of magnitude (paper's claim)
+    assert secoa_f2 > 100 * sies_f2
+    assert sies_f6 < 1e-3

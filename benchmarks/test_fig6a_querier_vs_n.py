@@ -1,0 +1,82 @@
+"""Figure 6(a) — computational cost at the querier vs. the number of sources.
+
+Benchmarks one evaluation per scheme at N ∈ {64, 256, 1024} on valid
+final PSRs (built outside the timed region; SECOA_S's synthesized
+algebraically — identical to the network's output).  The N=4096/16384
+points of the paper are covered by the linearity assertion plus the
+``run_all`` experiment driver, which runs them at full scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.cmt import CMTProtocol
+from repro.baselines.secoa.secoa_sum import SECOASumProtocol
+from repro.core.protocol import SIESProtocol
+from repro.datasets.workload import DomainScaledWorkload
+from repro.experiments.common import build_final_psr
+
+J = 300
+SEED = 2011
+SOURCE_COUNTS = (64, 256, 1024)
+
+
+def _bench_querier(benchmark, protocol, rounds: int) -> None:
+    workload = DomainScaledWorkload(protocol.num_sources, scale=100, seed=SEED)
+    querier = protocol.create_querier()
+    finals = {
+        epoch: build_final_psr(
+            protocol, epoch, [workload(i, epoch) for i in range(protocol.num_sources)]
+        )
+        for epoch in range(1, rounds + 1)
+    }
+    state = {"epoch": 0}
+
+    def setup():
+        state["epoch"] = state["epoch"] % rounds + 1
+        return (state["epoch"], finals[state["epoch"]]), {}
+
+    benchmark.pedantic(querier.evaluate, setup=setup, rounds=rounds, iterations=1)
+
+
+@pytest.mark.parametrize("n", SOURCE_COUNTS)
+@pytest.mark.benchmark(group="fig6a-querier")
+def test_sies_querier(benchmark, n: int) -> None:
+    _bench_querier(benchmark, SIESProtocol(n, seed=SEED), rounds=5)
+
+
+@pytest.mark.parametrize("n", SOURCE_COUNTS)
+@pytest.mark.benchmark(group="fig6a-querier")
+def test_cmt_querier(benchmark, n: int) -> None:
+    _bench_querier(benchmark, CMTProtocol(n, seed=SEED), rounds=5)
+
+
+@pytest.mark.parametrize("n", SOURCE_COUNTS)
+@pytest.mark.benchmark(group="fig6a-querier")
+def test_secoa_querier(benchmark, n: int) -> None:
+    _bench_querier(benchmark, SECOASumProtocol(n, num_sketches=J, seed=SEED), rounds=2)
+
+
+def test_fig6a_shape(host_constants) -> None:
+    """Linearity in N and the >10x SIES-vs-SECOA gap (paper Section VI-C)."""
+    import time
+
+    def evaluate_time(protocol) -> float:
+        workload = DomainScaledWorkload(protocol.num_sources, scale=100, seed=SEED)
+        final = build_final_psr(
+            protocol, 1, [workload(i, 1) for i in range(protocol.num_sources)]
+        )
+        querier = protocol.create_querier()
+        start = time.perf_counter()
+        querier.evaluate(1, final)
+        return time.perf_counter() - start
+
+    sies_256 = evaluate_time(SIESProtocol(256, seed=SEED))
+    sies_1024 = evaluate_time(SIESProtocol(1024, seed=SEED))
+    secoa_256 = evaluate_time(SECOASumProtocol(256, num_sketches=J, seed=SEED))
+    # linear in N
+    assert 2.0 < sies_1024 / sies_256 < 10.0
+    # the paper's range claim: SIES querier within 0.15-36 ms across the
+    # N sweep on its hardware; on ours the shape claim is the >10x gap.
+    assert secoa_256 > 10 * sies_256

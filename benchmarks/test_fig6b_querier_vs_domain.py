@@ -1,0 +1,55 @@
+"""Figure 6(b) — computational cost at the querier vs. the domain.
+
+Benchmarks one evaluation at N=1024 for domains ×1 and ×10⁴ and
+asserts the figure's flat shape: the querier's work is dominated by the
+per-source key/share recomputation (SIES/CMT) or the J·N seed HMACs and
+folds (SECOA_S), none of which depend on the value domain.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baselines.secoa.secoa_sum import SECOASumProtocol
+from repro.core.protocol import SIESProtocol
+from repro.datasets.workload import DomainScaledWorkload
+from repro.experiments.common import build_final_psr
+
+N = 1024
+J = 300
+SEED = 2011
+
+
+def _bench(benchmark, protocol, scale: int, rounds: int) -> None:
+    workload = DomainScaledWorkload(N, scale=scale, seed=SEED)
+    querier = protocol.create_querier()
+    final = build_final_psr(protocol, 1, [workload(i, 1) for i in range(N)])
+    benchmark.pedantic(querier.evaluate, args=(1, final), rounds=rounds, iterations=1)
+
+
+@pytest.mark.parametrize("scale", [1, 10000])
+@pytest.mark.benchmark(group="fig6b-querier")
+def test_sies_querier_vs_domain(benchmark, scale: int) -> None:
+    _bench(benchmark, SIESProtocol(N, seed=SEED), scale, rounds=5)
+
+
+@pytest.mark.parametrize("scale", [1, 10000])
+@pytest.mark.benchmark(group="fig6b-querier")
+def test_secoa_querier_vs_domain(benchmark, scale: int) -> None:
+    _bench(benchmark, SECOASumProtocol(N, num_sketches=J, seed=SEED), scale, rounds=2)
+
+
+def test_fig6b_flatness() -> None:
+    def evaluate_time(scale: int) -> float:
+        protocol = SIESProtocol(N, seed=SEED)
+        workload = DomainScaledWorkload(N, scale=scale, seed=SEED)
+        final = build_final_psr(protocol, 1, [workload(i, 1) for i in range(N)])
+        querier = protocol.create_querier()
+        start = time.perf_counter()
+        querier.evaluate(1, final)
+        return time.perf_counter() - start
+
+    low, high = evaluate_time(1), evaluate_time(10000)
+    assert high < 3 * low and low < 3 * high  # flat within noise

@@ -1,0 +1,90 @@
+"""Table II — per-primitive cost constants on this host.
+
+Each benchmark measures one Table II symbol with pytest-benchmark;
+the summary table printed by ``--benchmark-only`` *is* this host's
+Table II column.  Comparison against the paper's values lives in
+``python -m repro.experiments.table2``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.secoa.sketch import item_level
+from repro.crypto.hmac import HM1, HM256
+from repro.crypto.modular import modinv
+from repro.crypto.primes import next_prime
+from repro.crypto.rsa import generate_rsa_keypair
+
+_rng = random.Random(2011)
+KEY20 = _rng.randbytes(20)
+EPOCH = (12345).to_bytes(8, "big")
+P256 = next_prime(1 << 255)
+A256, B256 = _rng.getrandbits(255), _rng.getrandbits(255)
+N160 = 1 << 160
+A160, B160 = _rng.getrandbits(159), _rng.getrandbits(159)
+RSA = generate_rsa_keypair(1024, rng=_rng, public_exponent=3)
+M1024 = _rng.getrandbits(1020)
+M1024B = _rng.getrandbits(1020)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_c_hm1(benchmark) -> None:
+    """C_HM1 — HMAC-SHA1 over the epoch encoding (paper: 0.46 us)."""
+    benchmark(HM1, KEY20, EPOCH)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_c_hm256(benchmark) -> None:
+    """C_HM256 — HMAC-SHA256 (paper: 1.02 us)."""
+    benchmark(HM256, KEY20, EPOCH)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_c_a20(benchmark) -> None:
+    """C_A20 — 20-byte modular addition (paper: 0.15 us)."""
+    benchmark(lambda: (A160 + B160) % N160)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_c_a32(benchmark) -> None:
+    """C_A32 — 32-byte modular addition (paper: 0.37 us)."""
+    benchmark(lambda: (A256 + B256) % P256)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_c_m32(benchmark) -> None:
+    """C_M32 — 32-byte modular multiplication (paper: 0.45 us)."""
+    benchmark(lambda: (A256 * B256) % P256)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_c_m128(benchmark) -> None:
+    """C_M128 — 128-byte modular multiplication (paper: 1.39 us)."""
+    benchmark(lambda: (M1024 * M1024B) % RSA.public.n)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_c_mi32(benchmark) -> None:
+    """C_MI32 — 32-byte modular inverse (paper: 3.2 us)."""
+    benchmark(modinv, A256, P256)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_c_rsa(benchmark) -> None:
+    """C_RSA — one raw RSA encryption, e=3, 1024-bit (paper: 5.36 us)."""
+    benchmark(RSA.public.encrypt, M1024)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_c_sk(benchmark) -> None:
+    """C_sk — one per-item sketch insertion (paper: 0.037 us)."""
+    benchmark(item_level, 7, 42)
+
+
+def test_host_constants_sane(host_constants) -> None:
+    """Orderings any host must reproduce for the analysis to transfer."""
+    assert host_constants.c_a32 < host_constants.c_hm1
+    assert host_constants.c_rsa > host_constants.c_m128

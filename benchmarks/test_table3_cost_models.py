@@ -1,0 +1,66 @@
+"""Table III — cost models at typical values (N=1024, F=4, J=300).
+
+Benchmarks the model *evaluation* (cheap) and, more importantly,
+asserts that the models at the paper's constants reproduce the printed
+Table III and that the paper's headline cost orderings hold at this
+host's constants too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel.constants import PAPER_CONSTANTS
+from repro.costmodel.tables import evaluate_table3
+from repro.experiments.paper_data import TABLE3_REPORTED
+
+
+@pytest.mark.benchmark(group="table3")
+def test_evaluate_table3_at_paper_constants(benchmark) -> None:
+    table = benchmark(evaluate_table3, PAPER_CONSTANTS)
+    assert len(table.rows) == 6
+
+
+def test_reproduces_paper_table3_cells() -> None:
+    table = evaluate_table3(PAPER_CONSTANTS)
+    reported = TABLE3_REPORTED
+    assert table.row("Comput. cost at A").sies == pytest.approx(
+        reported["Comput. cost at A"]["sies"], rel=0.02
+    )
+    assert table.row("Comput. cost at Q").sies == pytest.approx(
+        reported["Comput. cost at Q"]["sies"], rel=0.02
+    )
+    assert table.row("Comput. cost at S").secoa_min == pytest.approx(
+        reported["Comput. cost at S"]["secoa_min"], rel=0.01
+    )
+    assert table.row("Comput. cost at S").secoa_max == pytest.approx(
+        reported["Comput. cost at S"]["secoa_max"], rel=0.01
+    )
+    assert table.row("Commun. cost S-A").secoa_min == 38720
+    assert table.row("Commun. cost A-Q").secoa_min == 448
+
+
+def test_headline_orderings_hold_at_host_constants(host_constants) -> None:
+    """SIES beats SECOA_S's best case on every metric; SIES is within a
+    modest factor of CMT (the paper: 'marginally inferior')."""
+    table = evaluate_table3(host_constants)
+    for metric in ("Comput. cost at S", "Comput. cost at A", "Comput. cost at Q"):
+        row = table.row(metric)
+        assert row.sies < row.secoa_min, metric
+        assert row.sies < 20 * row.cmt, metric
+    for metric in ("Commun. cost S-A", "Commun. cost A-A", "Commun. cost A-Q"):
+        row = table.row(metric)
+        assert row.sies == 32 and row.cmt == 20
+        assert row.secoa_min > 10 * row.sies
+
+
+def test_sies_beats_secoa_by_orders_of_magnitude() -> None:
+    """The paper's 'up to 4 orders of magnitude' claim, at its constants."""
+    table = evaluate_table3(PAPER_CONSTANTS)
+    source = table.row("Comput. cost at S")
+    aggregator = table.row("Comput. cost at A")
+    assert source.secoa_min / source.sies > 1e3
+    assert source.secoa_max / source.sies > 1e4
+    assert aggregator.secoa_min / aggregator.sies > 1e3
+    comm = table.row("Commun. cost S-A")
+    assert comm.secoa_min / comm.sies > 1e3

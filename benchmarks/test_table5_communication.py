@@ -1,0 +1,73 @@
+"""Table V — communication cost per network edge.
+
+Byte counts are analytic, so the "benchmark" here is primarily a
+regeneration-with-assertions of the table at the paper's parameters
+(N=1024, F=4, D=[1800,5000], J=300), including SECOA_S's *actual* A–Q
+size from synthesized sink output across epochs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.secoa.secoa_sum import SECOASumProtocol
+from repro.core.protocol import SIESProtocol
+from repro.baselines.cmt import CMTProtocol
+from repro.costmodel.models import secoas_comm_bounds
+from repro.datasets.workload import DomainScaledWorkload
+from repro.experiments.common import build_final_psr
+
+N = 1024
+J = 300
+SEED = 2011
+
+
+@pytest.fixture(scope="module")
+def secoa_finals():
+    protocol = SECOASumProtocol(N, num_sketches=J, seed=SEED)
+    workload = DomainScaledWorkload(N, scale=100, seed=SEED)
+    finals = [
+        build_final_psr(protocol, epoch, [workload(i, epoch) for i in range(N)])
+        for epoch in range(1, 6)
+    ]
+    return protocol, finals
+
+
+@pytest.mark.benchmark(group="table5")
+def test_secoa_sink_finalization_cost(benchmark, secoa_finals) -> None:
+    """The sink's fold-by-position step that shrinks the A-Q message."""
+    protocol, _ = secoa_finals
+    workload = DomainScaledWorkload(N, scale=100, seed=SEED)
+    sources = [protocol.create_source(i) for i in range(4)]
+    aggregator = protocol.create_aggregator()
+    merged = aggregator.merge(1, [s.initialize(1, workload(s.source_id, 1)) for s in sources])
+    benchmark.pedantic(aggregator.finalize_for_querier, args=(merged,), rounds=3, iterations=1)
+
+
+def test_sies_and_cmt_rows() -> None:
+    assert SIESProtocol(N, seed=SEED).psr_bytes == 32
+    assert CMTProtocol(N, seed=SEED).psr_bytes == 20
+
+
+def test_secoa_internal_edges_match_paper() -> None:
+    protocol = SECOASumProtocol(N, num_sketches=J, seed=SEED)
+    psr = protocol.create_source(0).initialize(1, 1800)
+    assert psr.wire_size() == 300 * 1 + 300 * 128 + 20 == 38720  # 37.8 KB
+
+
+def test_secoa_final_edge_within_model_envelope(secoa_finals) -> None:
+    _, finals = secoa_finals
+    lo, hi = secoas_comm_bounds(N, 5000, J)
+    sizes = [f.wire_size() for f in finals]
+    actual = sum(sizes) / len(sizes)
+    assert lo.aggregator_to_querier <= actual <= hi.aggregator_to_querier
+    # the paper's 'actual' cell is 832 B; ours lands in the same few-KB
+    # regime, far below the 37.8 KB internal edges
+    assert actual < 5000
+    # and the sink really did fold: far fewer than J SEALs left
+    assert all(len(f.seals) < J / 5 for f in finals)
+
+
+def test_edge_ordering_cmt_sies_secoa() -> None:
+    lo, _ = secoas_comm_bounds(N, 5000, J)
+    assert 20 < 32 < lo.aggregator_to_querier < lo.source_to_aggregator

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The complete paper lifecycle: provision → disseminate → run → re-task.
+
+Drives a :class:`repro.deployment.Deployment` through the system story
+of Sections III-A and IV-A:
+
+1. the network is provisioned (keys, prime, μTesla commitment);
+2. the querier broadcasts `SELECT SUM(temperature) …` with μTesla —
+   note the epochs of *silence* until the MAC key is disclosed and the
+   sources can authenticate the query;
+3. steady-state verified answers flow;
+4. the querier re-tasks the network with an AVG-of-hot-zones query
+   "without re-establishing any keys" — again with the authentication
+   gap, then the new answers take over.
+
+Run:  python examples/full_lifecycle.py
+"""
+
+from repro.deployment import Deployment
+from repro.queries.predicates import Comparison
+from repro.queries.query import AggregateKind, Query
+
+SUM_QUERY = Query(AggregateKind.SUM, "temperature")
+HOT_AVG_QUERY = Query(
+    AggregateKind.AVG, "temperature", Comparison("temperature", ">=", 30.0)
+)
+
+
+def describe(entry) -> str:
+    if entry.event == "idle":
+        return "…silence (query not yet authenticated)"
+    if entry.event == "broadcast":
+        return f"broadcast: {entry.query_sql}"
+    if entry.event == "registered":
+        return f"sources registered: {entry.query_sql}"
+    answer = entry.answer
+    status = "verified" if answer.verified else "REJECTED"
+    value = "-" if answer.value is None else f"{answer.value:.2f}"
+    return f"answer {value} [{status}]"
+
+
+def main() -> None:
+    deployment = Deployment(num_sources=64, seed=11)
+    print(f"provisioned: {deployment.num_sources} sources, fanout {deployment.fanout}, "
+          f"mu-Tesla delay {deployment.disclosure_delay} epochs\n")
+
+    activation = deployment.issue_query(SUM_QUERY)
+    print(f"[epoch 0] issued SUM query (activates at epoch {activation})")
+    for _ in range(6):
+        entry = deployment.step()
+        print(f"[epoch {entry.epoch}] {describe(entry)}")
+
+    activation = deployment.issue_query(HOT_AVG_QUERY)
+    print(f"\n[epoch {deployment.current_epoch}] re-tasked with hot-zone AVG "
+          f"(activates at epoch {activation})")
+    for _ in range(6):
+        entry = deployment.step()
+        print(f"[epoch {entry.epoch}] {describe(entry)}")
+
+    answers = deployment.answers()
+    assert answers and all(a.verified for a in answers)
+    assert deployment.active_query == HOT_AVG_QUERY
+    sums = [a for a in answers if a.value and a.value > 1000]
+    avgs = [a for a in answers if a.value and a.value < 100]
+    assert sums and avgs, "both query regimes must have produced answers"
+    print(f"\nlifecycle complete: {len(sums)} SUM answers, then {len(avgs)} AVG answers, "
+          "all integrity-verified; zero key re-establishment.")
+
+
+if __name__ == "__main__":
+    main()

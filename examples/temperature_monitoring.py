@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Factory-monitoring scenario: continuous derived queries over SIES.
+
+The paper's introduction motivates secure aggregation with factory
+monitoring.  This example registers three long-running queries over one
+simulated deployment of 128 temperature motes:
+
+* ``SELECT AVG(temperature) FROM Sensors EPOCH DURATION 30``
+* ``SELECT COUNT(temperature) FROM Sensors WHERE temperature>=35`` —
+  how many zones are running hot;
+* ``SELECT STDDEV(temperature) FROM Sensors`` — spatial spread.
+
+Each derived aggregate decomposes into independent secure SUM instances
+(AVG = SUM/COUNT; STDDEV additionally uses SUM of squares with the
+8-byte result field of the paper's footnote 1), every component is
+integrity-verified, and all values travel encrypted.
+
+Run:  python examples/temperature_monitoring.py
+"""
+
+from repro import AggregateKind, ContinuousQuery, Query
+from repro.datasets.intel_lab import IntelLabSynthesizer
+from repro.queries.predicates import AlwaysTrue, Comparison
+
+NUM_SOURCES = 128
+EPOCHS = 12
+HOT_THRESHOLD_C = 35.0
+
+
+def main() -> None:
+    # One shared synthetic deployment; every query sees the same motes.
+    deployment = IntelLabSynthesizer(NUM_SOURCES, seed=7)
+
+    queries = {
+        "avg": Query(AggregateKind.AVG, "temperature", AlwaysTrue()),
+        "hot_zones": Query(
+            AggregateKind.COUNT, "temperature", Comparison("temperature", ">=", HOT_THRESHOLD_C)
+        ),
+        "stddev": Query(AggregateKind.STDDEV, "temperature", AlwaysTrue()),
+    }
+    engines = {
+        name: ContinuousQuery(
+            query, NUM_SOURCES, scale=100, seed=7, synthesizer=deployment
+        )
+        for name, query in queries.items()
+    }
+
+    for name, query in queries.items():
+        print(f"registered: {query.sql()}")
+    print()
+
+    print(f"{'epoch':>5} | {'AVG degC':>9} | {'hot zones':>9} | {'STDDEV':>7} | verified")
+    for epoch in range(1, EPOCHS + 1):
+        answers = {name: engine.run_epoch(epoch) for name, engine in engines.items()}
+        verified = all(a.verified for a in answers.values())
+        print(
+            f"{epoch:>5} | {answers['avg'].value:>9.3f} | "
+            f"{answers['hot_zones'].value:>9.0f} | {answers['stddev'].value:>7.3f} | {verified}"
+        )
+        assert verified
+
+    # Cross-check the last epoch against plaintext ground truth.
+    readings = [deployment.reading(m, EPOCHS).temperature_c for m in range(NUM_SOURCES)]
+    scaled = [int(r * 100) for r in readings]
+    expected_avg = sum(scaled) / len(scaled) / 100
+    print(f"\nground-truth AVG at epoch {EPOCHS}: {expected_avg:.3f} "
+          f"(query reported {answers['avg'].value:.3f})")
+    assert abs(answers["avg"].value - expected_avg) < 1e-9
+
+
+if __name__ == "__main__":
+    main()

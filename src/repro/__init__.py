@@ -1,0 +1,82 @@
+"""SIES — Secure In-network processing of Exact SUM queries.
+
+A complete reproduction of *"Secure and Efficient In-Network Processing
+of Exact SUM Queries"* (Papadopoulos, Kiayias, Papadias — ICDE 2011):
+the SIES scheme itself, the CMT and SECOA baselines it is evaluated
+against, the cryptographic substrate (hashes, HMAC, RSA, Paillier,
+secret sharing, μTesla), an epoch-driven sensor-network simulator with
+adversary hooks, the paper's analytic cost models, and an experiment
+harness regenerating every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import SIESProtocol, build_complete_tree, NetworkSimulator
+    from repro.network.simulator import SimulationConfig
+    from repro.datasets import DomainScaledWorkload
+
+    protocol = SIESProtocol(num_sources=64, seed=7)
+    tree = build_complete_tree(64, fanout=4)
+    workload = DomainScaledWorkload(64, scale=100, seed=7)
+    metrics = NetworkSimulator(protocol, tree, workload,
+                               SimulationConfig(num_epochs=20)).run()
+    assert metrics.all_verified()
+
+or at the query level::
+
+    from repro import ContinuousQuery, Query, AggregateKind
+    answers = ContinuousQuery(Query(AggregateKind.AVG), 64, seed=7).run(20)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro._version import __version__
+from repro.baselines.cmt import CMTProtocol
+from repro.baselines.secoa.secoa_max import SECOAMaxProtocol
+from repro.baselines.secoa.secoa_sum import SECOASumProtocol
+from repro.core.protocol import SIESProtocol
+from repro.datasets.workload import DomainScaledWorkload, UniformWorkload
+from repro.errors import (
+    FreshnessError,
+    IntegrityError,
+    ReproError,
+    SecurityError,
+    VerificationFailure,
+)
+from repro.network.simulator import NetworkSimulator, SimulationConfig
+from repro.network.topology import build_complete_tree, build_random_tree
+from repro.protocols.base import EvaluationResult, SecureAggregationProtocol
+from repro.protocols.registry import available_protocols, create_protocol
+from repro.queries.engine import ContinuousQuery, QueryAnswer
+from repro.queries.query import AggregateKind, Query
+
+__all__ = [
+    "__version__",
+    # protocols
+    "SIESProtocol",
+    "CMTProtocol",
+    "SECOAMaxProtocol",
+    "SECOASumProtocol",
+    "SecureAggregationProtocol",
+    "EvaluationResult",
+    "create_protocol",
+    "available_protocols",
+    # network
+    "NetworkSimulator",
+    "SimulationConfig",
+    "build_complete_tree",
+    "build_random_tree",
+    # workloads & queries
+    "DomainScaledWorkload",
+    "UniformWorkload",
+    "ContinuousQuery",
+    "QueryAnswer",
+    "Query",
+    "AggregateKind",
+    # errors
+    "ReproError",
+    "SecurityError",
+    "IntegrityError",
+    "FreshnessError",
+    "VerificationFailure",
+]

@@ -1,0 +1,31 @@
+"""Adversary models exercising the paper's threat model (Section III-C).
+
+Attacks are implemented as channel interceptors — the adversary
+"infiltrates the wireless channel" — plus compromised-party helpers.
+:mod:`repro.attacks.scenarios` runs each attack inside the simulator
+and reports whether the protocol under test detected it, backing the
+security test-suite for Theorems 1–4.
+"""
+
+from repro.attacks.adversary import (
+    AdditiveTamperAttack,
+    BitFlipAttack,
+    DropAttack,
+    Eavesdropper,
+    ReplayAttack,
+    SketchDeflationAttack,
+    SketchInflationAttack,
+)
+from repro.attacks.scenarios import AttackOutcome, run_attack_scenario
+
+__all__ = [
+    "AdditiveTamperAttack",
+    "BitFlipAttack",
+    "DropAttack",
+    "ReplayAttack",
+    "Eavesdropper",
+    "SketchInflationAttack",
+    "SketchDeflationAttack",
+    "AttackOutcome",
+    "run_attack_scenario",
+]

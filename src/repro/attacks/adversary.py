@@ -1,0 +1,266 @@
+"""Channel-level adversaries.
+
+Each attack is a callable ``(DataMessage, EdgeClass) -> DataMessage |
+None`` suitable for :meth:`repro.network.channel.Channel.add_interceptor`.
+Attacks mutate *copies* of PSRs (the adversary rewrites packets; it does
+not reach into the sender's memory), and each records what it did so
+scenarios can assert "the attack actually fired" separately from "the
+protocol detected it".
+
+Mapping to the paper's threat discussion:
+
+* :class:`AdditiveTamperAttack` / value injection — the Section II-D
+  attack on CMT ("the adversary can inject any integer v' to c") and
+  the tampering Theorem 2 defends against in SIES.
+* :class:`DropAttack` — a compromised aggregator silently dropping a
+  subtree's contribution (Section IV's motivating example).
+* :class:`ReplayAttack` — Theorem 4's replay adversary: an old final
+  PSR relabelled with the current epoch header.
+* :class:`Eavesdropper` — Theorem 1's passive adversary; it records
+  ciphertexts for the statistical confidentiality checks.
+* :class:`SketchInflationAttack` / :class:`SketchDeflationAttack` —
+  SECOA-specific result manipulation (inflation/deflation of sketch
+  values), which its certificates must catch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ParameterError
+from repro.network.channel import EdgeClass
+from repro.network.messages import DataMessage
+
+__all__ = [
+    "AdditiveTamperAttack",
+    "BitFlipAttack",
+    "DropAttack",
+    "ReplayAttack",
+    "Eavesdropper",
+    "SketchInflationAttack",
+    "SketchDeflationAttack",
+]
+
+
+class _BaseAttack:
+    """Shared bookkeeping: which (epoch, edge) pairs the attack touched."""
+
+    def __init__(self, edge_class: EdgeClass | None) -> None:
+        self.edge_class = edge_class
+        self.applications: list[int] = []
+
+    def _applies(self, edge: EdgeClass) -> bool:
+        return self.edge_class is None or edge is self.edge_class
+
+    def _record(self, epoch: int) -> None:
+        self.applications.append(epoch)
+
+    @property
+    def times_applied(self) -> int:
+        return len(self.applications)
+
+
+class AdditiveTamperAttack(_BaseAttack):
+    """Adds a residue to a ciphertext-style PSR (SIES/CMT records).
+
+    Against CMT this *succeeds silently*, shifting the SUM by ``delta``;
+    against SIES the querier's share check rejects the epoch.
+    """
+
+    def __init__(
+        self,
+        delta: int,
+        modulus: int,
+        *,
+        edge_class: EdgeClass | None = EdgeClass.AGGREGATOR_TO_QUERIER,
+    ) -> None:
+        super().__init__(edge_class)
+        if delta % modulus == 0:
+            raise ParameterError("a delta divisible by the modulus is a no-op, not an attack")
+        self.delta = delta
+        self.modulus = modulus
+
+    def __call__(self, message: DataMessage, edge: EdgeClass) -> DataMessage:
+        psr = message.psr
+        if not self._applies(edge) or not hasattr(psr, "ciphertext"):
+            return message
+        tampered = dataclasses.replace(
+            psr, ciphertext=(psr.ciphertext + self.delta) % self.modulus
+        )
+        self._record(message.epoch)
+        return dataclasses.replace(message, psr=tampered)
+
+
+class BitFlipAttack(_BaseAttack):
+    """Flips one ciphertext bit — the weakest possible active attack.
+
+    Radio-level corruption and minimal malicious modification look the
+    same to the protocol; Theorem 2's bound says even a single flipped
+    bit must be rejected (a scheme that only caught *large* changes
+    would be useless).  Deterministic bit position per epoch so runs
+    replay.
+    """
+
+    def __init__(
+        self,
+        modulus: int,
+        *,
+        edge_class: EdgeClass | None = EdgeClass.AGGREGATOR_TO_QUERIER,
+    ) -> None:
+        super().__init__(edge_class)
+        self.modulus = modulus
+        self._bits = max(1, modulus.bit_length() - 1)
+
+    def __call__(self, message: DataMessage, edge: EdgeClass) -> DataMessage:
+        psr = message.psr
+        if not self._applies(edge) or not hasattr(psr, "ciphertext"):
+            return message
+        bit = (message.epoch * 7919) % self._bits  # deterministic spread
+        flipped = (psr.ciphertext ^ (1 << bit)) % self.modulus
+        if flipped == psr.ciphertext:  # reduction undid the flip; pick bit 0
+            flipped = (psr.ciphertext ^ 1) % self.modulus
+        self._record(message.epoch)
+        return dataclasses.replace(message, psr=dataclasses.replace(psr, ciphertext=flipped))
+
+
+class DropAttack(_BaseAttack):
+    """Drops messages from selected senders (or everything on an edge)."""
+
+    def __init__(
+        self,
+        *,
+        sender_ids: frozenset[int] | None = None,
+        edge_class: EdgeClass | None = EdgeClass.SOURCE_TO_AGGREGATOR,
+    ) -> None:
+        super().__init__(edge_class)
+        self.sender_ids = sender_ids
+
+    def __call__(self, message: DataMessage, edge: EdgeClass) -> DataMessage | None:
+        if not self._applies(edge):
+            return message
+        if self.sender_ids is not None and message.sender not in self.sender_ids:
+            return message
+        self._record(message.epoch)
+        return None
+
+
+class ReplayAttack(_BaseAttack):
+    """Records a PSR at ``capture_epoch`` and replays it afterwards.
+
+    The replayed PSR's plaintext epoch header is relabelled to the
+    current epoch — the paper's replay adversary presents "a legitimate
+    final PSR … which however corresponds to a previous time epoch".
+    """
+
+    def __init__(
+        self,
+        capture_epoch: int,
+        *,
+        edge_class: EdgeClass = EdgeClass.AGGREGATOR_TO_QUERIER,
+    ) -> None:
+        super().__init__(edge_class)
+        self.capture_epoch = capture_epoch
+        self._captured = None
+
+    def __call__(self, message: DataMessage, edge: EdgeClass) -> DataMessage:
+        if not self._applies(edge):
+            return message
+        if message.epoch == self.capture_epoch:
+            self._captured = message.psr
+            return message
+        if message.epoch > self.capture_epoch and self._captured is not None:
+            stale = dataclasses.replace(self._captured, epoch=message.epoch)
+            self._record(message.epoch)
+            return dataclasses.replace(message, psr=stale)
+        return message
+
+
+class Eavesdropper(_BaseAttack):
+    """Passively records everything it can see on the channel."""
+
+    def __init__(self, *, edge_class: EdgeClass | None = None) -> None:
+        super().__init__(edge_class)
+        #: (epoch, sender, psr) triples observed in transit.
+        self.observations: list[tuple[int, int, object]] = []
+
+    def __call__(self, message: DataMessage, edge: EdgeClass) -> DataMessage:
+        if self._applies(edge):
+            self.observations.append((message.epoch, message.sender, message.psr))
+            self._record(message.epoch)
+        return message
+
+    def observed_ciphertexts(self) -> list[int]:
+        return [
+            psr.ciphertext  # type: ignore[attr-defined]
+            for (_, _, psr) in self.observations
+            if hasattr(psr, "ciphertext")
+        ]
+
+
+class SketchInflationAttack(_BaseAttack):
+    """Raises one SECOA_S sketch value, inflating the SUM estimate.
+
+    The SEAL *can* be rolled forward by anyone, so the adversary fixes
+    the deflation certificate — but it cannot forge the winner's HMAC
+    on the higher level, so the inflation certificate check must fail.
+    """
+
+    def __init__(
+        self,
+        sketch_index: int,
+        boost: int,
+        seal_context,
+        *,
+        edge_class: EdgeClass = EdgeClass.AGGREGATOR_TO_QUERIER,
+    ) -> None:
+        super().__init__(edge_class)
+        if boost <= 0:
+            raise ParameterError("inflation boost must be positive")
+        self.sketch_index = sketch_index
+        self.boost = boost
+        self._seals = seal_context
+
+    def __call__(self, message: DataMessage, edge: EdgeClass) -> DataMessage:
+        psr = message.psr
+        if not self._applies(edge) or not hasattr(psr, "levels"):
+            return message
+        levels = list(psr.levels)  # type: ignore[attr-defined]
+        if self.sketch_index >= len(levels):
+            return message
+        levels[self.sketch_index] += self.boost
+        # Roll every SEAL forward consistently — public operation.
+        new_max = max(levels)
+        seals = [self._seals.roll(s, max(s.position, new_max)) for s in psr.seals]  # type: ignore[attr-defined]
+        self._record(message.epoch)
+        return dataclasses.replace(
+            message, psr=dataclasses.replace(psr, levels=levels, seals=seals)
+        )
+
+
+class SketchDeflationAttack(_BaseAttack):
+    """Lowers one SECOA_S sketch value, deflating the SUM estimate.
+
+    The adversary can recompute nothing: it cannot roll SEALs backwards
+    (one-wayness), so the querier's reference-SEAL comparison must fail
+    even though it forges nothing else.
+    """
+
+    def __init__(
+        self,
+        sketch_index: int,
+        *,
+        edge_class: EdgeClass = EdgeClass.AGGREGATOR_TO_QUERIER,
+    ) -> None:
+        super().__init__(edge_class)
+        self.sketch_index = sketch_index
+
+    def __call__(self, message: DataMessage, edge: EdgeClass) -> DataMessage:
+        psr = message.psr
+        if not self._applies(edge) or not hasattr(psr, "levels"):
+            return message
+        levels = list(psr.levels)  # type: ignore[attr-defined]
+        if self.sketch_index >= len(levels) or levels[self.sketch_index] == 0:
+            return message
+        levels[self.sketch_index] = 0
+        self._record(message.epoch)
+        return dataclasses.replace(message, psr=dataclasses.replace(psr, levels=levels))

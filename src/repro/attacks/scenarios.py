@@ -1,0 +1,128 @@
+"""Attack scenarios: mount an adversary, run the simulator, classify.
+
+For each epoch a scenario distinguishes four outcomes:
+
+* ``clean``      — no attack fired; result correct;
+* ``detected``   — the attack fired and the querier raised a
+  :class:`~repro.errors.SecurityError` (what Theorems 2/4 promise);
+* ``undetected`` — the attack fired, the querier accepted, and the
+  value is *wrong* (the CMT failure mode the paper motivates with);
+* ``harmless``   — the attack fired but the accepted value is still
+  correct (e.g. replaying the current epoch's own PSR).
+
+The classification compares against ground truth computed directly from
+the workload, so scenarios are protocol-agnostic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.network.channel import Interceptor
+from repro.network.simulator import NetworkSimulator, SimulationConfig, Workload
+from repro.network.topology import AggregationTree, build_complete_tree
+from repro.protocols.base import SecureAggregationProtocol
+
+__all__ = ["AttackOutcome", "run_attack_scenario"]
+
+
+@dataclass
+class AttackOutcome:
+    """Per-epoch classification of one attack run."""
+
+    protocol: str
+    attack: str
+    clean_epochs: list[int] = field(default_factory=list)
+    detected_epochs: list[int] = field(default_factory=list)
+    undetected_epochs: list[int] = field(default_factory=list)
+    harmless_epochs: list[int] = field(default_factory=list)
+    #: Epochs rejected although no attack fired (must stay empty).
+    false_positive_epochs: list[int] = field(default_factory=list)
+    #: epoch -> (reported value, true value) for accepted epochs.
+    reported: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def attack_always_detected(self) -> bool:
+        """True when every attacked epoch was rejected by the querier."""
+        return not self.undetected_epochs and bool(self.detected_epochs)
+
+    @property
+    def attack_succeeded_silently(self) -> bool:
+        """True when some attacked epoch produced a wrong, accepted value."""
+        return bool(self.undetected_epochs)
+
+    def summary(self) -> str:
+        text = (
+            f"{self.protocol} vs {self.attack}: "
+            f"{len(self.clean_epochs)} clean, {len(self.detected_epochs)} detected, "
+            f"{len(self.undetected_epochs)} silently wrong, "
+            f"{len(self.harmless_epochs)} harmless"
+        )
+        if self.false_positive_epochs:
+            text += f", {len(self.false_positive_epochs)} FALSE POSITIVES"
+        return text
+
+
+def run_attack_scenario(
+    protocol: SecureAggregationProtocol,
+    attack: Interceptor,
+    workload: Workload,
+    *,
+    tree: AggregationTree | None = None,
+    fanout: int = 4,
+    num_epochs: int = 5,
+    truth: Callable[[int, Sequence[int]], int] | None = None,
+) -> AttackOutcome:
+    """Run *protocol* under *attack* and classify each epoch.
+
+    Parameters
+    ----------
+    truth:
+        ``(epoch, source_ids) -> expected value``; defaults to the SUM
+        of the workload (pass a MAX reducer for ``secoa_m``).  For
+        approximate protocols the reported value is compared with a 25%
+        relative tolerance — an attack that silently shifts the
+        estimate beyond it counts as undetected corruption.
+    """
+    tree = tree or build_complete_tree(protocol.num_sources, fanout)
+    simulator = NetworkSimulator(
+        protocol, tree, workload, SimulationConfig(num_epochs=num_epochs)
+    )
+    simulator.channel.add_interceptor(attack)
+    metrics = simulator.run()
+
+    if truth is None:
+        truth = lambda epoch, ids: sum(workload(s, epoch) for s in ids)  # noqa: E731
+
+    attacked_epochs = set(getattr(attack, "applications", []))
+    outcome = AttackOutcome(protocol=protocol.name, attack=type(attack).__name__)
+    for em in metrics.epochs:
+        expected = truth(em.epoch, tree.source_ids)
+        attacked = em.epoch in attacked_epochs
+        if em.security_failure is not None:
+            # A rejection without an attack is a false positive, not a win.
+            (outcome.detected_epochs if attacked else outcome.false_positive_epochs).append(
+                em.epoch
+            )
+            continue
+        assert em.result is not None
+        outcome.reported[em.epoch] = (em.result.value, expected)
+        correct = (
+            em.result.value == expected
+            if protocol.exact
+            else _within_tolerance(em.result.value, expected)
+        )
+        if not attacked:
+            outcome.clean_epochs.append(em.epoch)
+        elif correct:
+            outcome.harmless_epochs.append(em.epoch)
+        else:
+            outcome.undetected_epochs.append(em.epoch)
+    return outcome
+
+
+def _within_tolerance(reported: int, expected: int, *, rel: float = 0.25) -> bool:
+    if expected == 0:
+        return reported == 0
+    return abs(reported - expected) / abs(expected) <= rel

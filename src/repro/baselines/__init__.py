@@ -1,0 +1,15 @@
+"""Benchmark protocols the paper compares SIES against (Section II-D).
+
+* :mod:`repro.baselines.cmt` — CMT (Castelluccia–Mykletun–Tsudik,
+  MobiQuitous'05): additively homomorphic encryption, confidentiality
+  only, exact answers, no integrity.
+* :mod:`repro.baselines.secoa` — SECOA (Nath–Yu–Chan, SIGMOD'09):
+  one-way-chain (SEAL) based integrity, no confidentiality; exact MAX
+  (``secoa_m``) and sketch-approximate SUM (``secoa_s``).
+"""
+
+from repro.baselines.cmt import CMTProtocol
+from repro.baselines.secoa.secoa_max import SECOAMaxProtocol
+from repro.baselines.secoa.secoa_sum import SECOASumProtocol
+
+__all__ = ["CMTProtocol", "SECOAMaxProtocol", "SECOASumProtocol"]

@@ -1,0 +1,39 @@
+"""SECOA — secure outsourced aggregation via one-way chains (Nath et al. [8]).
+
+The paper's integrity-only benchmark (Section II-D).  Two protocols:
+
+* ``secoa_m`` (:mod:`repro.baselines.secoa.secoa_max`) — exact MAX with
+  inflation certificates (HMACs) and deflation certificates (SEALs:
+  RSA one-way chains combined by *rolling* and *folding*);
+* ``secoa_s`` (:mod:`repro.baselines.secoa.secoa_sum`) — approximate
+  SUM: each source spreads its value over ``J`` distinct-count (AMS/FM)
+  sketches and SECOA_M protects each sketch; the querier estimates
+  SUM ≈ 2^x̄.
+
+Substrates: :mod:`repro.baselines.secoa.sketch` (three statistically
+identical insertion strategies), :mod:`repro.baselines.secoa.seal`
+(roll/fold algebra over raw RSA), and
+:mod:`repro.baselines.secoa.certificates` (XOR-aggregate HMACs [28]).
+"""
+
+from repro.baselines.secoa.certificates import aggregate_certificates, inflation_certificate
+from repro.baselines.secoa.seal import Seal, SealContext
+from repro.baselines.secoa.secoa_max import SECOAMaxProtocol
+from repro.baselines.secoa.secoa_sum import SECOASumProtocol
+from repro.baselines.secoa.sketch import (
+    DistinctCountSketch,
+    SketchStrategy,
+    sample_sketch_level,
+)
+
+__all__ = [
+    "DistinctCountSketch",
+    "SketchStrategy",
+    "sample_sketch_level",
+    "Seal",
+    "SealContext",
+    "inflation_certificate",
+    "aggregate_certificates",
+    "SECOAMaxProtocol",
+    "SECOASumProtocol",
+]

@@ -1,0 +1,57 @@
+"""Inflation certificates and XOR-aggregate MACs for SECOA.
+
+An inflation certificate binds a (sketch index, level, epoch) triple to
+a source's certificate key with ``HM1`` — an adversary cannot claim a
+*higher* value than a source produced without forging the MAC.  Per the
+paper's optimization, certificates are combined into a single 20-byte
+aggregate by XOR (Katz–Lindell aggregate MACs [28]); the querier
+recomputes the expected constituents and XORs them for comparison.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.crypto.hmac import HM1
+from repro.crypto.prf import encode_epoch
+from repro.errors import ParameterError
+from repro.utils.bytesops import xor_bytes
+from repro.utils.validation import check_nonnegative_int
+
+__all__ = ["inflation_certificate", "aggregate_certificates", "temporal_seed_bytes"]
+
+CERTIFICATE_BYTES = 20
+
+
+def inflation_certificate(key: bytes, sketch_index: int, level: int, epoch: int) -> bytes:
+    """``HM1(K_i, j ∥ x ∥ t)`` — 20 bytes (paper's ``S_inf``).
+
+    The epoch is included so certificates cannot be replayed across
+    epochs (the paper's freshness discipline for SECOA, Section V).
+    """
+    check_nonnegative_int("sketch_index", sketch_index)
+    check_nonnegative_int("level", level)
+    message = (
+        sketch_index.to_bytes(4, "big") + level.to_bytes(4, "big") + encode_epoch(epoch)
+    )
+    return HM1(key, message)
+
+
+def temporal_seed_bytes(seed_key: bytes, sketch_index: int, epoch: int) -> bytes:
+    """``HM1(seed_i, t ∥ j)`` — the per-epoch SEAL seed (Section V)."""
+    check_nonnegative_int("sketch_index", sketch_index)
+    return HM1(seed_key, encode_epoch(epoch) + sketch_index.to_bytes(4, "big"))
+
+
+def aggregate_certificates(certificates: Iterable[bytes]) -> bytes:
+    """XOR-combine equal-length certificates into one (aggregate MAC)."""
+    aggregate: bytes | None = None
+    for certificate in certificates:
+        if len(certificate) != CERTIFICATE_BYTES:
+            raise ParameterError(
+                f"certificates must be {CERTIFICATE_BYTES} bytes, got {len(certificate)}"
+            )
+        aggregate = certificate if aggregate is None else xor_bytes(aggregate, certificate)
+    if aggregate is None:
+        raise ParameterError("cannot aggregate zero certificates")
+    return aggregate

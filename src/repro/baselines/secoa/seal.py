@@ -1,0 +1,145 @@
+"""SEALs — SECOA's deflation certificates (paper Section II-D).
+
+A SEAL for value ``v`` and seed ``sd`` is ``E_RSA^v(sd)``: the RSA
+encryption function applied ``v`` times to the seed.  Two algebraic
+operations combine SEALs in-network:
+
+* **rolling** — advancing a SEAL ``k`` positions forward costs ``k``
+  RSA encryptions: ``E^v(sd) → E^{v+k}(sd)``.  Rolling *backwards*
+  requires the RSA private key, which no network party holds — that
+  one-wayness is exactly what makes deflation detectable.
+* **folding** — two SEALs at the *same* position multiply modulo the
+  RSA modulus: ``E^v(a)·E^v(b) = E^v(a·b)``, because raw RSA is
+  multiplicatively homomorphic.
+
+The querier verifies by recreating the reference SEAL from the secret
+seeds (fold all seeds, then roll to the reported position) and
+comparing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.crypto.rsa import RSAPublicKey
+from repro.errors import ParameterError, ProtocolError
+from repro.protocols.base import OpCounter
+
+__all__ = ["Seal", "SealContext"]
+
+
+@dataclass(frozen=True)
+class Seal:
+    """One SEAL: a chain element ``E^position(·)`` of ``value``."""
+
+    position: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.position < 0:
+            raise ParameterError(f"SEAL position must be non-negative, got {self.position}")
+        if self.value < 0:
+            raise ParameterError("SEAL value must be a non-negative residue")
+
+
+class SealContext:
+    """Roll/fold algebra bound to one RSA public key.
+
+    All methods optionally count their primitive operations into an
+    :class:`~repro.protocols.base.OpCounter` (``rsa`` per rolling step,
+    ``mul128`` per fold multiplication) so the Section V cost models can
+    be validated against executions.
+    """
+
+    def __init__(self, public_key: RSAPublicKey) -> None:
+        self.public_key = public_key
+
+    @property
+    def seal_bytes(self) -> int:
+        """Wire size of one SEAL (the paper's ``S_SEAL`` = 128 bytes)."""
+        return self.public_key.modulus_bytes
+
+    def create(self, seed: int, position: int, *, ops: OpCounter | None = None) -> Seal:
+        """``E^position(seed)`` — costs *position* RSA encryptions."""
+        if not 0 <= seed < self.public_key.n:
+            raise ParameterError("seed must be a residue modulo the RSA modulus")
+        if seed == 0:
+            # 0 is a fixed point of raw RSA and would make folds collapse;
+            # temporal seeds are PRF outputs, so remap the measure-zero case.
+            seed = 1
+        value = self.public_key.encrypt_iterated(seed, position)
+        if ops is not None and position:
+            ops.add("rsa", position)
+        return Seal(position=position, value=value)
+
+    def roll(self, seal: Seal, to_position: int, *, ops: OpCounter | None = None) -> Seal:
+        """Advance *seal* to *to_position* (must not move backwards)."""
+        steps = to_position - seal.position
+        if steps < 0:
+            raise ProtocolError(
+                f"cannot roll a SEAL backwards (from {seal.position} to {to_position})"
+            )
+        if steps == 0:
+            return seal
+        value = self.public_key.encrypt_iterated(seal.value, steps)
+        if ops is not None:
+            ops.add("rsa", steps)
+        return Seal(position=to_position, value=value)
+
+    def fold(self, seals: Sequence[Seal], *, ops: OpCounter | None = None) -> Seal:
+        """Multiply same-position SEALs: ``len(seals) − 1`` modular products."""
+        if not seals:
+            raise ProtocolError("cannot fold an empty SEAL collection")
+        position = seals[0].position
+        product = seals[0].value
+        for seal in seals[1:]:
+            if seal.position != position:
+                raise ProtocolError(
+                    f"folding requires equal positions, got {seal.position} != {position}"
+                )
+            product = (product * seal.value) % self.public_key.n
+        if ops is not None and len(seals) > 1:
+            ops.add("mul128", len(seals) - 1)
+        return Seal(position=position, value=product)
+
+    def roll_and_fold(
+        self, seals: Iterable[Seal], target_position: int, *, ops: OpCounter | None = None
+    ) -> Seal:
+        """Roll every SEAL to *target_position*, then fold them all.
+
+        This is the aggregator's per-sketch merge step; the total RSA
+        count is the paper's ``rl_i`` for that sketch.
+        """
+        rolled = [self.roll(seal, target_position, ops=ops) for seal in seals]
+        return self.fold(rolled, ops=ops)
+
+    def fold_by_position(
+        self, seals: Sequence[Seal], *, ops: OpCounter | None = None
+    ) -> list[Seal]:
+        """The sink's optimization: fold SEALs sharing a chain position.
+
+        Returns one SEAL per distinct position, sorted by position —
+        ``seals`` of them, the count in the paper's Eq. 11.
+        """
+        groups: dict[int, list[Seal]] = {}
+        for seal in seals:
+            groups.setdefault(seal.position, []).append(seal)
+        return [self.fold(groups[pos], ops=ops) for pos in sorted(groups)]
+
+    def reference_seal(
+        self, seeds: Sequence[int], position: int, *, ops: OpCounter | None = None
+    ) -> Seal:
+        """The querier's reference: fold all seeds, then roll to *position*.
+
+        Costs ``len(seeds) − 1`` modular multiplications plus
+        ``position`` RSA encryptions (the ``x_max`` term of Eq. 8).
+        """
+        if not seeds:
+            raise ProtocolError("reference SEAL needs at least one seed")
+        product = 1
+        for seed in seeds:
+            product = (product * (seed if seed != 0 else 1)) % self.public_key.n
+        if ops is not None and len(seeds) > 1:
+            ops.add("mul128", len(seeds) - 1)
+        return self.create(product, position, ops=ops)

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+
+``run``        simulate a protocol over a generated network and print
+               per-epoch verified results and cost summaries;
+``query``      execute a continuous aggregate query (the paper's
+               SELECT template) and print per-epoch answers;
+``attack``     mount a named adversary and report detection outcomes;
+``experiment`` regenerate a paper table/figure by name;
+``bounds``     print the Theorem 1–4 security bounds for a parameter set.
+
+Examples::
+
+    python -m repro.cli run --protocol sies --sources 64 --epochs 5
+    python -m repro.cli query --aggregate AVG --where "temperature>=20" --sources 32
+    python -m repro.cli attack --attack replay --protocol sies
+    python -m repro.cli experiment fig5
+    python -m repro.cli bounds --sources 1024 --share-bytes 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.params import SIESParams
+from repro.core.security import bounds_for
+from repro.datasets.workload import DomainScaledWorkload
+from repro.network.channel import EdgeClass
+from repro.network.simulator import NetworkSimulator, SimulationConfig
+from repro.network.topology import build_complete_tree
+from repro.protocols.registry import available_protocols, create_protocol
+from repro.queries.engine import ContinuousQuery
+from repro.queries.predicates import AlwaysTrue, parse_predicate
+from repro.queries.query import AggregateKind, Query
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = ("table2", "table3", "table5", "fig4", "fig5", "fig6a", "fig6b",
+                "extension_scalability", "extension_energy", "run_all")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__.split("\n\n")[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate a protocol")
+    run_p.add_argument("--protocol", default="sies", choices=sorted(available_protocols()))
+    run_p.add_argument("--sources", type=int, default=64)
+    run_p.add_argument("--fanout", type=int, default=4)
+    run_p.add_argument("--epochs", type=int, default=5)
+    run_p.add_argument("--scale", type=int, default=100)
+    run_p.add_argument("--seed", type=int, default=2011)
+
+    query_p = sub.add_parser("query", help="run a continuous aggregate query")
+    query_p.add_argument("--aggregate", default="SUM",
+                         choices=[k.value for k in AggregateKind])
+    query_p.add_argument("--where", default=None, help='predicate, e.g. "temperature>=20"')
+    query_p.add_argument("--protocol", default="sies")
+    query_p.add_argument("--sources", type=int, default=64)
+    query_p.add_argument("--epochs", type=int, default=5)
+    query_p.add_argument("--scale", type=int, default=100)
+    query_p.add_argument("--seed", type=int, default=2011)
+
+    attack_p = sub.add_parser("attack", help="mount an adversary")
+    attack_p.add_argument("--attack", required=True, choices=("tamper", "drop", "replay"))
+    attack_p.add_argument("--protocol", default="sies", choices=("sies", "cmt"))
+    attack_p.add_argument("--sources", type=int, default=64)
+    attack_p.add_argument("--epochs", type=int, default=5)
+    attack_p.add_argument("--seed", type=int, default=2011)
+
+    experiment_p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment_p.add_argument("name", choices=_EXPERIMENTS)
+    experiment_p.add_argument("--quick", action="store_true")
+
+    bounds_p = sub.add_parser("bounds", help="Theorem 1-4 security bounds")
+    bounds_p.add_argument("--sources", type=int, default=1024)
+    bounds_p.add_argument("--value-bytes", type=int, default=4, choices=(4, 8))
+    bounds_p.add_argument("--share-bytes", type=int, default=20)
+    return parser
+
+
+# ----------------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    kwargs = {"seed": args.seed}
+    if args.protocol == "secoa_s":
+        kwargs["num_sketches"] = 50  # keep interactive runs snappy
+    protocol = create_protocol(args.protocol, args.sources, **kwargs)
+    workload = DomainScaledWorkload(args.sources, scale=args.scale, seed=args.seed)
+    simulator = NetworkSimulator(
+        protocol,
+        build_complete_tree(args.sources, args.fanout),
+        workload,
+        SimulationConfig(num_epochs=args.epochs),
+    )
+    metrics = simulator.run()
+    for em in metrics.epochs:
+        if em.security_failure:
+            print(f"epoch {em.epoch}: REJECTED ({em.security_failure})")
+        else:
+            assert em.result is not None
+            tag = "verified" if em.result.verified else "UNVERIFIED"
+            kind = "exact" if em.result.exact else "estimate"
+            print(f"epoch {em.epoch}: {kind} result {em.result.value} ({tag})")
+    print(f"\nmean source init : {metrics.mean_source_seconds() * 1e6:10.2f} us")
+    print(f"mean merge       : {metrics.mean_aggregator_seconds() * 1e6:10.2f} us")
+    print(f"mean evaluation  : {metrics.mean_querier_seconds() * 1e3:10.2f} ms")
+    for edge in EdgeClass:
+        print(f"bytes per {edge.value} msg : {metrics.traffic.mean_bytes_per_message(edge):10.0f}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    predicate = parse_predicate(args.where) if args.where else AlwaysTrue()
+    query = Query(AggregateKind(args.aggregate), "temperature", predicate)
+    print(query.sql())
+    engine = ContinuousQuery(
+        query, args.sources, protocol=args.protocol, scale=args.scale, seed=args.seed
+    )
+    for answer in engine.run(args.epochs):
+        status = "verified" if answer.verified else (answer.security_failure or "unverified")
+        value = "-" if answer.value is None else f"{answer.value:.4f}"
+        print(f"epoch {answer.epoch}: {value}  [{status}]")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.attacks import AdditiveTamperAttack, DropAttack, ReplayAttack, run_attack_scenario
+
+    protocol = create_protocol(args.protocol, args.sources, seed=args.seed)
+    modulus = getattr(protocol, "p", None) or getattr(protocol, "n")
+    attacks = {
+        "tamper": lambda: AdditiveTamperAttack(delta=999_983, modulus=modulus),
+        "drop": lambda: DropAttack(sender_ids=frozenset({0})),
+        "replay": lambda: ReplayAttack(capture_epoch=1),
+    }
+    workload = DomainScaledWorkload(args.sources, scale=100, seed=args.seed)
+    outcome = run_attack_scenario(
+        protocol, attacks[args.attack](), workload, num_epochs=args.epochs
+    )
+    print(outcome.summary())
+    for epoch, (reported, truth) in sorted(outcome.reported.items()):
+        marker = "" if reported == truth else "   <-- WRONG, accepted"
+        print(f"  epoch {epoch}: reported {reported}, truth {truth}{marker}")
+    return 0 if not outcome.attack_succeeded_silently or args.protocol == "cmt" else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    if args.name == "run_all":
+        module.main(["--quick"] if args.quick else [])
+    else:
+        module.main()
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    params = SIESParams(
+        num_sources=args.sources,
+        value_bytes=args.value_bytes,
+        share_bytes=args.share_bytes,
+    )
+    bounds = bounds_for(params)
+    print(f"N={args.sources}, value field {args.value_bytes} B, shares {args.share_bytes} B")
+    print(f"modulus p        : {params.p.bit_length()} bits ({params.modulus_bytes} B PSRs)")
+    print(f"confidentiality  : 2^{bounds.log2_confidentiality_break:.0f} per pad guess (Thm 1)")
+    print(f"long-term key    : 2^{bounds.log2_long_term_key_guess:.0f} per key guess (Thm 1)")
+    print(f"integrity forgery: 2^{bounds.log2_integrity_forgery:.0f} per attempt (Thm 2)")
+    print(f"replay collision : 2^{bounds.log2_replay_collision:.0f} per epoch pair (Thm 4)")
+    print(f"meets paper margins: {bounds.meets_paper_defaults()}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "query": _cmd_query,
+    "attack": _cmd_attack,
+    "experiment": _cmd_experiment,
+    "bounds": _cmd_bounds,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

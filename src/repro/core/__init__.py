@@ -1,0 +1,43 @@
+"""SIES — the paper's primary contribution (Section IV).
+
+The scheme in one paragraph: at epoch ``t`` each source ``S_i`` derives
+temporal keys ``K_t = HM256(K, t)`` and ``k_i,t = HM256(k_i, t)`` and a
+secret share ``ss_i,t = HM1(k_i, t)``, packs its reading and the share
+into a plaintext ``m_i,t = v ∥ 0…0 ∥ ss_i,t`` (Fig. 2) and sends the
+ciphertext ``PSR_i,t = K_t·m_i,t + k_i,t mod p``.  Aggregators add PSRs
+mod ``p``.  The querier decrypts the final PSR with ``K_t`` and
+``Σ k_i,t``, splits it into the SUM result and the aggregated secret
+``s_t``, and accepts iff ``s_t = Σ HM1(k_i, t)`` — which simultaneously
+proves integrity (every share present exactly once) and freshness (the
+shares are epoch-specific).
+
+Package layout:
+
+* :mod:`repro.core.params` — parameter object and modulus selection;
+* :mod:`repro.core.layout` — the Fig. 2 plaintext bit layout;
+* :mod:`repro.core.keys` — setup-phase key material and temporal
+  derivations;
+* :mod:`repro.core.source` / :mod:`repro.core.aggregator` /
+  :mod:`repro.core.querier` — the three aggregation-process phases;
+* :mod:`repro.core.protocol` — the protocol facade registered as
+  ``"sies"``.
+"""
+
+from repro.core.aggregator import SIESAggregator
+from repro.core.keys import SIESKeyMaterial
+from repro.core.layout import MessageLayout
+from repro.core.params import SIESParams
+from repro.core.protocol import SIESProtocol
+from repro.core.querier import SIESQuerier
+from repro.core.source import SIESRecord, SIESSource
+
+__all__ = [
+    "SIESParams",
+    "MessageLayout",
+    "SIESKeyMaterial",
+    "SIESRecord",
+    "SIESSource",
+    "SIESAggregator",
+    "SIESQuerier",
+    "SIESProtocol",
+]

@@ -1,0 +1,130 @@
+"""SIES system parameters and modulus selection.
+
+The paper's sizing (Section IV-A):
+
+* readings are 4-byte integers (8-byte variant in footnote 1);
+* secret shares are 20 bytes (``HM1`` output);
+* ``ceil(log2 N)`` zero bits are padded between them so share-sum
+  carries never reach the value field (Fig. 2);
+* the modulus ``p`` is "an arbitrary prime" of 32 bytes, sized by the
+  32-byte temporal keys.
+
+We pick ``p`` deterministically as the smallest prime above
+``max(2^255, 2^plaintext_bits)``: for every paper configuration this is
+a 256-bit prime — so PSRs are exactly the paper's 32 bytes — while
+still guaranteeing that the maximum legitimate aggregate plaintext
+never wraps modulo ``p`` (see DESIGN.md §4 for the boundary case the
+paper glosses over).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.crypto.primes import next_prime
+from repro.errors import LayoutError, ParameterError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["SIESParams", "DEFAULT_VALUE_BYTES", "DEFAULT_SHARE_BYTES"]
+
+DEFAULT_VALUE_BYTES = 4
+DEFAULT_SHARE_BYTES = 20
+
+#: Floor for the modulus size: 2^255 makes p a 256-bit (32-byte) prime,
+#: matching the paper's wire size, even for small N.
+_MIN_MODULUS_EXPONENT = 255
+
+# Modulus generation is deterministic in the exponent, so cache it:
+# many tests/experiments construct protocols with identical layouts.
+_modulus_cache: dict[int, int] = {}
+
+
+def _modulus_for_bits(plaintext_bits: int) -> int:
+    exponent = max(_MIN_MODULUS_EXPONENT, plaintext_bits)
+    if exponent not in _modulus_cache:
+        _modulus_cache[exponent] = next_prime(1 << exponent)
+    return _modulus_cache[exponent]
+
+
+@dataclass(frozen=True)
+class SIESParams:
+    """Validated SIES configuration.
+
+    Parameters
+    ----------
+    num_sources:
+        ``N`` — determines the pad width ``ceil(log2 N)``.
+    value_bytes:
+        Width of the SUM field: 4 (default) or 8 (paper footnote 1).
+        The *aggregate* must fit this field, not just each reading.
+    share_bytes:
+        Width of each secret share; 20 in the paper (``HM1`` output).
+        The share-size ablation varies this (shares are then the
+        leading bytes of the HM1 digest).
+    """
+
+    num_sources: int
+    value_bytes: int = DEFAULT_VALUE_BYTES
+    share_bytes: int = DEFAULT_SHARE_BYTES
+    #: Computed prime modulus (do not pass; derived in __post_init__).
+    p: int = field(init=False, repr=False, default=0)
+
+    def __post_init__(self) -> None:
+        check_positive_int("num_sources", self.num_sources)
+        if self.value_bytes not in (4, 8):
+            raise ParameterError(
+                f"value_bytes must be 4 or 8 (paper Section IV-A), got {self.value_bytes}"
+            )
+        if not 1 <= self.share_bytes <= 20:
+            raise ParameterError(
+                f"share_bytes must be in [1, 20] (HM1 digest bytes), got {self.share_bytes}"
+            )
+        if self.num_sources > 1 << 64:
+            raise LayoutError("SIES supports up to 2^64 sources (paper Section IV-A)")
+        object.__setattr__(self, "p", _modulus_for_bits(self.plaintext_bits))
+
+    # ------------------------------------------------------------------
+    # Derived layout quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def pad_bits(self) -> int:
+        """``ceil(log2 N)`` zero bits absorbing share-sum carries (Fig. 2)."""
+        return max(0, math.ceil(math.log2(self.num_sources))) if self.num_sources > 1 else 0
+
+    @property
+    def value_bits(self) -> int:
+        return self.value_bytes * 8
+
+    @property
+    def share_bits(self) -> int:
+        return self.share_bytes * 8
+
+    @property
+    def plaintext_bits(self) -> int:
+        """Bits needed by the maximum aggregate plaintext ``m_f,t``."""
+        return self.value_bits + self.pad_bits + self.share_bits
+
+    @property
+    def modulus_bytes(self) -> int:
+        """Ciphertext (PSR) wire size — 32 bytes at paper settings."""
+        return (self.p.bit_length() + 7) // 8
+
+    @property
+    def max_result(self) -> int:
+        """Largest SUM the value field can represent (paper: 2^32 - 1)."""
+        return (1 << self.value_bits) - 1
+
+    def check_capacity(self, max_possible_sum: int) -> None:
+        """Raise :class:`LayoutError` if a workload could overflow the field.
+
+        Callers with workload knowledge should invoke this at setup;
+        footnote 1 of the paper prescribes the 8-byte field when 32 bits
+        are not enough.
+        """
+        if max_possible_sum > self.max_result:
+            raise LayoutError(
+                f"worst-case SUM {max_possible_sum} exceeds the {self.value_bytes}-byte "
+                f"result field (max {self.max_result}); use value_bytes=8"
+            )

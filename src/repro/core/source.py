@@ -1,0 +1,93 @@
+"""SIES initialization phase — what runs on a source sensor (Section IV-A).
+
+Per epoch, with reading ``v_i,t``:
+
+1. ``K_t   = HM256(K, t)``          (one HM256)
+2. ``k_i,t = HM256(k_i, t)``        (one HM256)
+3. ``ss_i,t = HM1(k_i, t)``         (one HM1)
+4. ``m_i,t = v_i,t ∥ 0…0 ∥ ss_i,t`` (bit packing, free)
+5. ``PSR_i,t = K_t · m_i,t + k_i,t  mod p``  (one 32-byte modular
+   multiplication and one addition)
+
+— total cost ``2·C_HM256 + C_HM1 + C_M32 + C_A32``, the paper's Eq. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.keys import SourceKeys, _temporal_int
+from repro.core.layout import MessageLayout
+from repro.errors import LayoutError
+from repro.protocols.base import OpCounter, PartialStateRecord, SourceRole
+from repro.utils.bytesops import bytes_to_int
+
+__all__ = ["SIESRecord", "SIESSource"]
+
+
+@dataclass
+class SIESRecord(PartialStateRecord):
+    """A SIES PSR: one ciphertext residue mod ``p``.
+
+    ``epoch`` is a plaintext header (untrusted); ``modulus_bytes`` fixes
+    the wire size — every SIES PSR, from a leaf or an aggregate, is the
+    same ``|p|`` bytes (32 at paper settings), which is the scheme's
+    constant-communication property.
+    """
+
+    ciphertext: int
+    epoch: int
+    modulus_bytes: int
+
+    def wire_size(self) -> int:
+        return self.modulus_bytes
+
+
+class SIESSource(SourceRole):
+    """Runs the initialization phase with source ``i``'s key material."""
+
+    def __init__(
+        self,
+        keys: SourceKeys,
+        layout: MessageLayout,
+        *,
+        ops: OpCounter | None = None,
+    ) -> None:
+        self.source_id = keys.source_id
+        self._keys = keys
+        self._layout = layout
+        self._p = keys.p
+        self._modulus_bytes = (keys.p.bit_length() + 7) // 8
+        self._ops = ops
+        # PRF objects are part of the sensor's installed state, not
+        # per-epoch work, so they are built here (outside timed paths).
+        self._master_prf = keys.master_prf()
+        self._pad_prf = keys.pad_prf()
+        self._share_prf = keys.share_prf()
+
+    def initialize(self, epoch: int, value: int) -> SIESRecord:
+        """Produce ``PSR_i,t`` for this source's *value* at *epoch*."""
+        if value < 0:
+            raise LayoutError(
+                f"SIES aggregates non-negative integers; got {value} "
+                "(encode other types by translation/scaling, Section III-B)"
+            )
+        layout = self._layout
+        if value > layout.max_value:
+            raise LayoutError(
+                f"reading {value} exceeds the {layout.value_bits}-bit value field"
+            )
+
+        k_t = _temporal_int(self._master_prf, epoch, self._p, require_invertible=True)
+        k_it = bytes_to_int(self._pad_prf.at_epoch(epoch))
+        share = layout.truncate_share(self._share_prf.at_epoch(epoch))
+
+        message = layout.encode(value, share)
+        ciphertext = (k_t * message + k_it) % self._p
+
+        if self._ops is not None:
+            self._ops.add("hm256", 2)
+            self._ops.add("hm1", 1)
+            self._ops.add("mul32", 1)
+            self._ops.add("add32", 1)
+        return SIESRecord(ciphertext=ciphertext, epoch=epoch, modulus_bytes=self._modulus_bytes)

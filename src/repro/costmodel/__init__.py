@@ -1,0 +1,35 @@
+"""Analytic cost models (paper Section V).
+
+* :mod:`repro.costmodel.constants` — the Table II constants, both the
+  paper's published values and values measured on this host;
+* :mod:`repro.costmodel.microbench` — measures each constant here;
+* :mod:`repro.costmodel.models` — Equations 1–11 for CPU cost per party
+  and communication cost per edge, including the best/worst-case bounds
+  the paper derives for SECOA_S;
+* :mod:`repro.costmodel.tables` — evaluates the models into the paper's
+  Table III and Table V rows.
+"""
+
+from repro.costmodel.constants import PAPER_CONSTANTS, PAPER_SIZES, CostConstants, WireSizes
+from repro.costmodel.microbench import measure_constants
+from repro.costmodel.models import (
+    cmt_costs,
+    secoa_bounds,
+    secoas_costs,
+    sies_costs,
+)
+from repro.costmodel.tables import evaluate_table3, evaluate_table5
+
+__all__ = [
+    "CostConstants",
+    "WireSizes",
+    "PAPER_CONSTANTS",
+    "PAPER_SIZES",
+    "measure_constants",
+    "cmt_costs",
+    "sies_costs",
+    "secoas_costs",
+    "secoa_bounds",
+    "evaluate_table3",
+    "evaluate_table5",
+]

@@ -1,0 +1,113 @@
+"""Cost constants (the paper's Table II).
+
+Two instances matter:
+
+* :data:`PAPER_CONSTANTS` — the values the authors measured on their
+  2.66 GHz Core i7 with C++/GMP/OpenSSL; used to *reproduce the paper's
+  arithmetic* (Table III) exactly;
+* the output of :func:`repro.costmodel.microbench.measure_constants` —
+  the same primitives measured on this host with this library, used for
+  the modeled-vs-measured validation of every figure.
+
+:meth:`CostConstants.modeled_seconds` prices an
+:class:`~repro.protocols.base.OpCounter`, turning executed operation
+counts into model time — the bridge between simulation and Section V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.protocols.base import OpCounter
+
+__all__ = ["CostConstants", "WireSizes", "PAPER_CONSTANTS", "PAPER_SIZES"]
+
+_US = 1e-6  # one microsecond, in seconds
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """Per-operation costs in **seconds** (Table II uses μs)."""
+
+    c_sk: float      #: one sketch insertion (C_sk)
+    c_rsa: float     #: one RSA encryption (C_RSA)
+    c_hm1: float     #: one HMAC-SHA1 (C_HM1)
+    c_hm256: float   #: one HMAC-SHA256 (C_HM256)
+    c_a20: float     #: 20-byte modular addition (C_A20)
+    c_a32: float     #: 32-byte modular addition (C_A32)
+    c_m32: float     #: 32-byte modular multiplication (C_M32)
+    c_m128: float    #: 128-byte modular multiplication (C_M128)
+    c_mi32: float    #: 32-byte modular inverse (C_MI32)
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise ParameterError(f"cost constant {name} must be non-negative")
+
+    #: OpCounter operation name -> constant attribute.
+    _OP_TO_CONSTANT = {
+        "hm1": "c_hm1",
+        "hm256": "c_hm256",
+        "add20": "c_a20",
+        "add32": "c_a32",
+        "mul32": "c_m32",
+        "mul128": "c_m128",
+        "inv32": "c_mi32",
+        "rsa": "c_rsa",
+        "sketch": "c_sk",
+    }
+
+    def cost_of(self, op: str) -> float:
+        try:
+            return getattr(self, self._OP_TO_CONSTANT[op])
+        except KeyError:
+            raise ParameterError(f"no cost constant for operation {op!r}") from None
+
+    def modeled_seconds(self, ops: OpCounter) -> float:
+        """Price an operation ledger: Σ count(op) × constant(op)."""
+        return sum(count * self.cost_of(op) for op, count in ops.counts.items())
+
+    def as_microseconds(self) -> dict[str, float]:
+        """Table II presentation form."""
+        return {
+            name: getattr(self, attr) / _US
+            for name, attr in (
+                ("C_sk", "c_sk"),
+                ("C_RSA", "c_rsa"),
+                ("C_HM1", "c_hm1"),
+                ("C_HM256", "c_hm256"),
+                ("C_A20", "c_a20"),
+                ("C_A32", "c_a32"),
+                ("C_M32", "c_m32"),
+                ("C_M128", "c_m128"),
+                ("C_MI32", "c_mi32"),
+            )
+        }
+
+
+@dataclass(frozen=True)
+class WireSizes:
+    """Element sizes in bytes (Table II bottom rows)."""
+
+    s_sk: int = 1       #: one sketch value (S_sk)
+    s_inf: int = 20     #: one inflation certificate (S_inf)
+    s_seal: int = 128   #: one SEAL (S_SEAL; 1024-bit RSA modulus)
+    cmt_psr: int = 20   #: CMT ciphertext
+    sies_psr: int = 32  #: SIES ciphertext
+
+
+#: Table II "Typical Value" column (the authors' hardware).
+PAPER_CONSTANTS = CostConstants(
+    c_sk=0.037 * _US,
+    c_rsa=5.36 * _US,
+    c_hm1=0.46 * _US,
+    c_hm256=1.02 * _US,
+    c_a20=0.15 * _US,
+    c_a32=0.37 * _US,
+    c_m32=0.45 * _US,
+    c_m128=1.39 * _US,
+    c_mi32=3.2 * _US,
+)
+
+PAPER_SIZES = WireSizes()

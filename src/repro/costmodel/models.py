@@ -1,0 +1,245 @@
+"""Equations 1–11 of the paper (Section V).
+
+Computational costs per party and communication costs per edge, for
+CMT, SIES and SECOA_S.  SIES and CMT costs are data-independent; the
+SECOA_S equations take the data-dependent quantities (``v``, sketch
+values ``x_i``, rolling counts ``rl_i``, ``seals``, ``x_max``) either
+as observed values (for validating against an execution) or as the
+best/worst-case bounds the paper derives from the value domain:
+``x_i ∈ [0, log(N·D_U)]`` (Section V, "Formulae evaluation").
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.costmodel.constants import CostConstants, WireSizes
+from repro.errors import ParameterError
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "PartyCosts",
+    "EdgeBytes",
+    "SecoaBounds",
+    "cmt_costs",
+    "sies_costs",
+    "secoas_costs",
+    "secoa_bounds",
+    "secoas_cost_bounds",
+    "cmt_comm",
+    "sies_comm",
+    "secoas_comm",
+    "secoas_comm_bounds",
+]
+
+
+@dataclass(frozen=True)
+class PartyCosts:
+    """Seconds of CPU per epoch at each party."""
+
+    source: float
+    aggregator: float
+    querier: float
+
+
+@dataclass(frozen=True)
+class EdgeBytes:
+    """Bytes per message on each edge class (the Table V columns)."""
+
+    source_to_aggregator: int
+    aggregator_to_aggregator: int
+    aggregator_to_querier: int
+
+
+@dataclass(frozen=True)
+class SecoaBounds:
+    """Domain-derived bounds on SECOA_S's data-dependent quantities.
+
+    ``x_bound = ceil(log2(N · D_U))`` bounds every sketch value; rolling
+    counts are bounded by ``floor(log2(N · D_U))`` per SEAL (the paper's
+    Table II ranges: x_i ∈ [0, 23], rl_i ∈ [0, 22] at the defaults);
+    the sink emits between 1 and ``x_bound + 1`` distinct-position SEALs.
+    """
+
+    x_bound: int
+    rl_bound: int
+    seals_min: int = 1
+
+    @property
+    def seals_max(self) -> int:
+        return self.x_bound + 1
+
+
+def secoa_bounds(num_sources: int, domain_upper: int) -> SecoaBounds:
+    check_positive_int("num_sources", num_sources)
+    check_positive_int("domain_upper", domain_upper)
+    log_term = math.log2(num_sources * domain_upper)
+    return SecoaBounds(x_bound=math.ceil(log_term), rl_bound=math.floor(log_term))
+
+
+# ----------------------------------------------------------------------
+# CMT (Eqs. 1, 4, 7)
+# ----------------------------------------------------------------------
+
+
+def cmt_costs(c: CostConstants, *, num_sources: int, fanout: int) -> PartyCosts:
+    """CMT: Eq. 1 (source), Eq. 4 (aggregator), Eq. 7 (querier)."""
+    check_positive_int("num_sources", num_sources)
+    check_positive_int("fanout", fanout)
+    return PartyCosts(
+        source=c.c_hm1 + c.c_a20,
+        aggregator=(fanout - 1) * c.c_a20,
+        querier=num_sources * (c.c_hm1 + c.c_a20),
+    )
+
+
+# ----------------------------------------------------------------------
+# SIES (Eqs. 3, 6, 9)
+# ----------------------------------------------------------------------
+
+
+def sies_costs(c: CostConstants, *, num_sources: int, fanout: int) -> PartyCosts:
+    """SIES: Eq. 3 (source), Eq. 6 (aggregator), Eq. 9 (querier)."""
+    check_positive_int("num_sources", num_sources)
+    check_positive_int("fanout", fanout)
+    n = num_sources
+    return PartyCosts(
+        source=2 * c.c_hm256 + c.c_hm1 + c.c_m32 + c.c_a32,
+        aggregator=(fanout - 1) * c.c_a32,
+        querier=(
+            n * c.c_hm1
+            + (n + 1) * c.c_hm256
+            + (2 * n - 1) * c.c_a32
+            + c.c_mi32
+            + c.c_m32
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# SECOA_S (Eqs. 2, 5, 8)
+# ----------------------------------------------------------------------
+
+
+def secoas_costs(
+    c: CostConstants,
+    *,
+    num_sources: int,
+    fanout: int,
+    num_sketches: int,
+    value: int,
+    sketch_values: Sequence[int],
+    aggregator_rolls: int,
+    collected_seals: int,
+    collected_rolls: int,
+    x_max: int,
+) -> PartyCosts:
+    """SECOA_S with *observed* data-dependent quantities.
+
+    ``sketch_values`` are one source's ``x_i``; ``aggregator_rolls`` is
+    one aggregator's total rolling count (``Σ rl_i`` of Eq. 5);
+    ``collected_seals``/``collected_rolls`` describe what the querier
+    received (Eq. 8).
+    """
+    check_positive_int("num_sketches", num_sketches)
+    if len(sketch_values) != num_sketches:
+        raise ParameterError(
+            f"expected {num_sketches} sketch values, got {len(sketch_values)}"
+        )
+    j = num_sketches
+    n = num_sources
+    source = j * (value * c.c_sk + 2 * c.c_hm1) + sum(sketch_values) * c.c_rsa  # Eq. 2
+    aggregator = j * (fanout - 1) * c.c_m128 + aggregator_rolls * c.c_rsa  # Eq. 5
+    querier = (  # Eq. 8
+        j * n * c.c_hm1
+        + (collected_seals + j * n - 2) * c.c_m128
+        + (collected_rolls + x_max) * c.c_rsa
+        + j * c.c_hm1
+    )
+    return PartyCosts(source=source, aggregator=aggregator, querier=querier)
+
+
+def secoas_cost_bounds(
+    c: CostConstants,
+    *,
+    num_sources: int,
+    fanout: int,
+    num_sketches: int,
+    domain: tuple[int, int],
+) -> tuple[PartyCosts, PartyCosts]:
+    """Best/worst-case SECOA_S costs over any data distribution in *domain*.
+
+    This reproduces the paper's "Formulae evaluation for typical values"
+    and the error bars of Figure 4.
+    """
+    d_lower, d_upper = domain
+    if not 0 < d_lower <= d_upper:
+        raise ParameterError(f"invalid domain {domain}")
+    bounds = secoa_bounds(num_sources, d_upper)
+    minimum = secoas_costs(
+        c,
+        num_sources=num_sources,
+        fanout=fanout,
+        num_sketches=num_sketches,
+        value=d_lower,
+        sketch_values=[0] * num_sketches,
+        aggregator_rolls=0,
+        collected_seals=bounds.seals_min,
+        collected_rolls=0,
+        x_max=0,
+    )
+    maximum = secoas_costs(
+        c,
+        num_sources=num_sources,
+        fanout=fanout,
+        num_sketches=num_sketches,
+        value=d_upper,
+        sketch_values=[bounds.x_bound] * num_sketches,
+        aggregator_rolls=num_sketches * bounds.rl_bound,
+        collected_seals=bounds.seals_max,
+        collected_rolls=bounds.seals_max * bounds.x_bound,
+        x_max=bounds.x_bound,
+    )
+    return minimum, maximum
+
+
+# ----------------------------------------------------------------------
+# Communication (Section V; Eqs. 10, 11)
+# ----------------------------------------------------------------------
+
+
+def cmt_comm(sizes: WireSizes = WireSizes()) -> EdgeBytes:
+    """CMT: one 20-byte ciphertext on every edge."""
+    return EdgeBytes(sizes.cmt_psr, sizes.cmt_psr, sizes.cmt_psr)
+
+
+def sies_comm(sizes: WireSizes = WireSizes()) -> EdgeBytes:
+    """SIES: one 32-byte PSR on every edge."""
+    return EdgeBytes(sizes.sies_psr, sizes.sies_psr, sizes.sies_psr)
+
+
+def secoas_comm(
+    num_sketches: int, collected_seals: int, sizes: WireSizes = WireSizes()
+) -> EdgeBytes:
+    """SECOA_S: Eq. 10 on internal edges, Eq. 11 at the sink."""
+    check_positive_int("num_sketches", num_sketches)
+    check_positive_int("collected_seals", collected_seals)
+    internal = num_sketches * sizes.s_sk + num_sketches * sizes.s_seal + sizes.s_inf
+    final = num_sketches * sizes.s_sk + collected_seals * sizes.s_seal + sizes.s_inf
+    return EdgeBytes(internal, internal, final)
+
+
+def secoas_comm_bounds(
+    num_sources: int,
+    domain_upper: int,
+    num_sketches: int,
+    sizes: WireSizes = WireSizes(),
+) -> tuple[EdgeBytes, EdgeBytes]:
+    """Min/max Eq. 10–11 traffic over any data distribution."""
+    bounds = secoa_bounds(num_sources, domain_upper)
+    return (
+        secoas_comm(num_sketches, bounds.seals_min, sizes),
+        secoas_comm(num_sketches, bounds.seals_max, sizes),
+    )

@@ -1,0 +1,135 @@
+"""Evaluate the cost models into the paper's Table III and Table V.
+
+Table III inserts the Table II typical values into Eqs. 1–11 at the
+default parameters (N=1024, F=4, J=300, D=[1800,5000]).  Table V
+reports the communication cost per edge — analytic for all schemes
+(the paper's "actual" column for SECOA_S comes from an execution; the
+experiment harness adds that from a simulation run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.constants import CostConstants, WireSizes
+from repro.costmodel.models import (
+    EdgeBytes,
+    cmt_comm,
+    cmt_costs,
+    secoas_comm_bounds,
+    secoas_cost_bounds,
+    sies_comm,
+    sies_costs,
+)
+
+__all__ = ["Table3Row", "Table3", "evaluate_table3", "Table5", "evaluate_table5", "DEFAULTS"]
+
+#: The paper's default system parameters (Table IV).
+DEFAULTS = {
+    "num_sources": 1024,
+    "fanout": 4,
+    "domain": (1800, 5000),
+    "num_sketches": 300,
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One metric across the three schemes (seconds or bytes)."""
+
+    metric: str
+    cmt: float
+    secoa_min: float
+    secoa_max: float
+    sies: float
+
+
+@dataclass(frozen=True)
+class Table3:
+    """The six Table III rows."""
+
+    rows: tuple[Table3Row, ...]
+
+    def row(self, metric: str) -> Table3Row:
+        for row in self.rows:
+            if row.metric == metric:
+                return row
+        raise KeyError(metric)
+
+
+def evaluate_table3(
+    constants: CostConstants,
+    *,
+    num_sources: int = DEFAULTS["num_sources"],
+    fanout: int = DEFAULTS["fanout"],
+    domain: tuple[int, int] = DEFAULTS["domain"],
+    num_sketches: int = DEFAULTS["num_sketches"],
+    sizes: WireSizes = WireSizes(),
+) -> Table3:
+    """Compute Table III from any constants (paper's or this host's)."""
+    cmt = cmt_costs(constants, num_sources=num_sources, fanout=fanout)
+    sies = sies_costs(constants, num_sources=num_sources, fanout=fanout)
+    secoa_lo, secoa_hi = secoas_cost_bounds(
+        constants,
+        num_sources=num_sources,
+        fanout=fanout,
+        num_sketches=num_sketches,
+        domain=domain,
+    )
+    comm_cmt = cmt_comm(sizes)
+    comm_sies = sies_comm(sizes)
+    comm_lo, comm_hi = secoas_comm_bounds(num_sources, domain[1], num_sketches, sizes)
+
+    def cpu_row(metric: str, attr: str) -> Table3Row:
+        return Table3Row(
+            metric=metric,
+            cmt=getattr(cmt, attr),
+            secoa_min=getattr(secoa_lo, attr),
+            secoa_max=getattr(secoa_hi, attr),
+            sies=getattr(sies, attr),
+        )
+
+    def comm_row(metric: str, attr: str) -> Table3Row:
+        return Table3Row(
+            metric=metric,
+            cmt=float(getattr(comm_cmt, attr)),
+            secoa_min=float(getattr(comm_lo, attr)),
+            secoa_max=float(getattr(comm_hi, attr)),
+            sies=float(getattr(comm_sies, attr)),
+        )
+
+    return Table3(
+        rows=(
+            cpu_row("Comput. cost at S", "source"),
+            cpu_row("Comput. cost at A", "aggregator"),
+            cpu_row("Comput. cost at Q", "querier"),
+            comm_row("Commun. cost S-A", "source_to_aggregator"),
+            comm_row("Commun. cost A-A", "aggregator_to_aggregator"),
+            comm_row("Commun. cost A-Q", "aggregator_to_querier"),
+        )
+    )
+
+
+@dataclass(frozen=True)
+class Table5:
+    """Communication cost per edge (bytes), model view.
+
+    The "actual" SECOA_S column requires an execution; the Table V
+    experiment driver fills it from a simulation run.
+    """
+
+    cmt: EdgeBytes
+    sies: EdgeBytes
+    secoa_min: EdgeBytes
+    secoa_max: EdgeBytes
+
+
+def evaluate_table5(
+    *,
+    num_sources: int = DEFAULTS["num_sources"],
+    domain: tuple[int, int] = DEFAULTS["domain"],
+    num_sketches: int = DEFAULTS["num_sketches"],
+    sizes: WireSizes = WireSizes(),
+) -> Table5:
+    lo, hi = secoas_comm_bounds(num_sources, domain[1], num_sketches, sizes)
+    return Table5(cmt=cmt_comm(sizes), sies=sies_comm(sizes), secoa_min=lo, secoa_max=hi)

@@ -1,0 +1,97 @@
+"""The SIES additively homomorphic cipher (paper Section III-D).
+
+Encryption of a plaintext ``m < p`` under a shared multiplier key ``K``
+and a one-time additive key ``k``::
+
+    c = E(m, K, k, p) = K*m + k  (mod p)
+
+Decryption::
+
+    m = D(c, K, k, p) = (c - k) * K^{-1}  (mod p)
+
+The scheme is additively homomorphic: ``c1 + c2 (mod p)`` decrypts to
+``m1 + m2`` under keys ``K`` and ``k1 + k2``; more generally the sum of
+``N`` ciphertexts decrypts with ``K`` and ``Σ k_i``.  Because ``k`` is a
+fresh pseudo-random pad per message, the construction is a one-time pad
+over ``Z_p`` and is information-theoretically confidential given ``k``
+(the multiplier ``K`` exists for *integrity*, not confidentiality —
+paper Section IV-B).
+
+Security contract: each ``(K_t, k_{i,t})`` pair must be used for exactly
+one plaintext; SIES guarantees this by deriving them from the epoch
+counter with a PRF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.modular import modinv
+from repro.crypto.primes import is_probable_prime
+from repro.errors import ParameterError
+
+__all__ = ["encrypt", "decrypt", "HomomorphicCipher"]
+
+
+def encrypt(m: int, K: int, k: int, p: int) -> int:
+    """``E(m, K, k, p) = K*m + k mod p`` (paper Section III-D).
+
+    Requires ``0 <= m < p`` and ``K mod p != 0`` (``K`` must be
+    invertible; ``p`` prime makes every non-zero residue invertible).
+    """
+    if not 0 <= m < p:
+        raise ParameterError(f"plaintext must satisfy 0 <= m < p, got m={m}")
+    if K % p == 0:
+        raise ParameterError("multiplier key K must be non-zero modulo p")
+    return (K * m + k) % p
+
+
+def decrypt(c: int, K: int, k: int, p: int) -> int:
+    """``D(c, K, k, p) = (c - k) * K^{-1} mod p``."""
+    if K % p == 0:
+        raise ParameterError("multiplier key K must be non-zero modulo p")
+    return ((c - k) * modinv(K, p)) % p
+
+
+@dataclass(frozen=True)
+class HomomorphicCipher:
+    """The cipher bound to a public prime modulus ``p``.
+
+    The querier constructs one instance at setup and shares ``p`` with
+    every aggregator (which only ever calls :meth:`add`) and source.
+    """
+
+    p: int
+    validate_prime: bool = True
+
+    def __post_init__(self) -> None:
+        if self.p <= 2:
+            raise ParameterError(f"modulus must exceed 2, got {self.p}")
+        if self.validate_prime and not is_probable_prime(self.p):
+            raise ParameterError(f"SIES modulus must be prime, got composite {self.p}")
+
+    @property
+    def modulus_bytes(self) -> int:
+        """Wire size of one ciphertext/PSR in bytes."""
+        return (self.p.bit_length() + 7) // 8
+
+    def encrypt(self, m: int, K: int, k: int) -> int:
+        return encrypt(m, K, k, self.p)
+
+    def decrypt(self, c: int, K: int, k: int) -> int:
+        return decrypt(c, K, k, self.p)
+
+    def add(self, *ciphertexts: int) -> int:
+        """Aggregate ciphertexts: ``Σ c_i mod p`` (the merging phase)."""
+        total = 0
+        for c in ciphertexts:
+            total = (total + c) % self.p
+        return total
+
+    def decrypt_aggregate(self, c: int, K: int, key_sum: int) -> int:
+        """Decrypt an aggregate of ``N`` ciphertexts with ``Σ k_i``.
+
+        Identical to :meth:`decrypt`; named separately to make protocol
+        code self-describing at the evaluation phase.
+        """
+        return decrypt(c, K, key_sum, self.p)

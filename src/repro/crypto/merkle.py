@@ -1,0 +1,135 @@
+"""Merkle hash trees (Merkle [19]).
+
+Substrate for the *commit-and-attest* family of secure aggregation
+schemes the paper surveys in Section II-B (SIA [6], SDAP [11],
+Chan–Perrig–Song [12], …): during the commitment phase the aggregators
+build a hash tree over the contributed values; during attestation each
+sensor verifies its own contribution against the broadcast root using
+an authentication path of ``O(log N)`` digests.
+
+The implementation is a standard binary Merkle tree with
+
+* domain-separated leaf/node hashing (``0x00 ∥ data`` for leaves,
+  ``0x01 ∥ left ∥ right`` for interior nodes — the RFC 6962 discipline
+  preventing leaf/node confusion attacks), and
+* odd-node promotion (an unpaired node rises unchanged), so any leaf
+  count works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashes import get_hash
+from repro.errors import ParameterError
+from repro.utils.bytesops import constant_time_eq
+from repro.utils.validation import check_nonnegative_int
+
+__all__ = ["MerkleTree", "MerklePath", "verify_merkle_path"]
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+@dataclass(frozen=True)
+class MerklePath:
+    """An authentication path: sibling digests from a leaf to the root.
+
+    ``directions[i]`` is True when the sibling at level ``i`` sits to
+    the *right* of the running hash.
+    """
+
+    leaf_index: int
+    siblings: tuple[bytes, ...]
+    directions: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.siblings) != len(self.directions):
+            raise ParameterError("path siblings and directions must align")
+
+    def wire_size(self) -> int:
+        """Bytes to ship this path to a sensor (1 direction bit per level,
+        rounded up, plus 4 bytes of leaf index)."""
+        digest_bytes = sum(len(s) for s in self.siblings)
+        return 4 + digest_bytes + (len(self.directions) + 7) // 8
+
+
+class MerkleTree:
+    """A Merkle tree over a fixed list of leaf payloads."""
+
+    def __init__(self, leaves: list[bytes], *, algorithm: str = "sha256") -> None:
+        if not leaves:
+            raise ParameterError("Merkle tree needs at least one leaf")
+        self._hash = get_hash(algorithm)
+        self.num_leaves = len(leaves)
+        # levels[0] = leaf digests; levels[-1] = [root]
+        level = [self._hash.digest(_LEAF_PREFIX + leaf) for leaf in leaves]
+        self._levels: list[list[bytes]] = [level]
+        while len(level) > 1:
+            next_level: list[bytes] = []
+            for i in range(0, len(level) - 1, 2):
+                next_level.append(
+                    self._hash.digest(_NODE_PREFIX + level[i] + level[i + 1])
+                )
+            if len(level) % 2:
+                next_level.append(level[-1])  # odd node promotes unchanged
+            self._levels.append(next_level)
+            level = next_level
+
+    @property
+    def root(self) -> bytes:
+        """The commitment digest sent to the querier."""
+        return self._levels[-1][0]
+
+    @property
+    def height(self) -> int:
+        """Number of levels above the leaves (0 for a single leaf)."""
+        return len(self._levels) - 1
+
+    @property
+    def digest_size(self) -> int:
+        return self._hash.digest_size
+
+    def leaf_digest(self, index: int) -> bytes:
+        check_nonnegative_int("index", index)
+        if index >= self.num_leaves:
+            raise ParameterError(f"leaf index {index} out of range [0, {self.num_leaves})")
+        return self._levels[0][index]
+
+    def path(self, index: int) -> MerklePath:
+        """The authentication path for leaf *index* (O(log N) digests)."""
+        check_nonnegative_int("index", index)
+        if index >= self.num_leaves:
+            raise ParameterError(f"leaf index {index} out of range [0, {self.num_leaves})")
+        siblings: list[bytes] = []
+        directions: list[bool] = []
+        position = index
+        for level in self._levels[:-1]:
+            sibling_right = position % 2 == 0
+            sibling_index = position + 1 if sibling_right else position - 1
+            if sibling_index < len(level):
+                siblings.append(level[sibling_index])
+                directions.append(sibling_right)
+            # else: odd promoted node — nothing to append at this level
+            position //= 2
+        return MerklePath(
+            leaf_index=index, siblings=tuple(siblings), directions=tuple(directions)
+        )
+
+
+def verify_merkle_path(
+    leaf: bytes,
+    path: MerklePath,
+    root: bytes,
+    *,
+    algorithm: str = "sha256",
+) -> bool:
+    """Sensor-side check: does *leaf* hash up to *root* along *path*?"""
+    h = get_hash(algorithm)
+    running = h.digest(_LEAF_PREFIX + leaf)
+    for sibling, sibling_is_right in zip(path.siblings, path.directions):
+        if sibling_is_right:
+            running = h.digest(_NODE_PREFIX + running + sibling)
+        else:
+            running = h.digest(_NODE_PREFIX + sibling + running)
+    return constant_time_eq(running, root)

@@ -1,0 +1,122 @@
+"""Big-integer modular arithmetic.
+
+These are the "modular additions/multiplications" the paper counts in
+its cost models (``C_A20``, ``C_A32``, ``C_M32``, ``C_M128``,
+``C_MI32``).  Everything is implemented over Python's arbitrary-
+precision integers; the multiplicative inverse uses the extended
+Euclidean algorithm so the library carries its own number theory rather
+than leaning on ``pow(x, -1, p)`` (which is still used as a test
+oracle).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "egcd",
+    "modinv",
+    "modexp",
+    "modadd",
+    "modmul",
+    "crt_pair",
+    "lcm",
+]
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: returns ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``.
+
+    Iterative formulation to avoid recursion limits for adversarially
+    large inputs.
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    # Normalize the gcd to be non-negative.
+    if old_r < 0:
+        old_r, old_x, old_y = -old_r, -old_x, -old_y
+    return old_r, old_x, old_y
+
+
+def modinv(a: int, modulus: int) -> int:
+    """The multiplicative inverse of *a* modulo *modulus*.
+
+    Raises :class:`ParameterError` if the inverse does not exist (i.e.
+    ``gcd(a, modulus) != 1``).  For the SIES prime modulus ``p`` the
+    inverse of any non-zero ``K_t`` always exists (paper Section III-D).
+    """
+    if modulus <= 1:
+        raise ParameterError(f"modulus must be > 1, got {modulus}")
+    a %= modulus
+    g, x, _ = egcd(a, modulus)
+    if g != 1:
+        raise ParameterError(f"{a} has no inverse modulo {modulus} (gcd={g})")
+    return x % modulus
+
+
+def modexp(base: int, exponent: int, modulus: int) -> int:
+    """Square-and-multiply modular exponentiation.
+
+    Python's built-in ``pow`` implements the same algorithm in C; we keep
+    an explicit implementation as the reference (tested against ``pow``)
+    and delegate to ``pow`` for speed — the RSA operations in the SECOA
+    baseline dominate several benchmarks.
+    """
+    if modulus <= 0:
+        raise ParameterError(f"modulus must be positive, got {modulus}")
+    if exponent < 0:
+        return modexp(modinv(base, modulus), -exponent, modulus)
+    return pow(base, exponent, modulus)
+
+
+def modexp_reference(base: int, exponent: int, modulus: int) -> int:
+    """Pure-Python square-and-multiply (test oracle for :func:`modexp`)."""
+    if modulus <= 0:
+        raise ParameterError(f"modulus must be positive, got {modulus}")
+    if exponent < 0:
+        raise ParameterError("reference modexp requires a non-negative exponent")
+    result = 1
+    base %= modulus
+    while exponent:
+        if exponent & 1:
+            result = (result * base) % modulus
+        base = (base * base) % modulus
+        exponent >>= 1
+    return result
+
+
+def modadd(a: int, b: int, modulus: int) -> int:
+    """``(a + b) mod modulus`` — the aggregator's only operation in SIES."""
+    return (a + b) % modulus
+
+
+def modmul(a: int, b: int, modulus: int) -> int:
+    """``(a * b) mod modulus`` — SECOA's folding step, SIES encryption."""
+    return (a * b) % modulus
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple (used by Paillier keygen)."""
+    if a == 0 or b == 0:
+        return 0
+    g, _, _ = egcd(a, b)
+    return abs(a // g * b)
+
+
+def crt_pair(r1: int, m1: int, r2: int, m2: int) -> int:
+    """Solve ``x ≡ r1 (mod m1), x ≡ r2 (mod m2)`` for coprime moduli.
+
+    Returns the unique solution in ``[0, m1*m2)``.  Used by the RSA
+    decryption fast path.
+    """
+    g, p, _ = egcd(m1, m2)
+    if g != 1:
+        raise ParameterError(f"CRT moduli must be coprime, gcd={g}")
+    diff = (r2 - r1) % m2
+    return (r1 + m1 * ((diff * p) % m2)) % (m1 * m2)

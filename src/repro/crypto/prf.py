@@ -1,0 +1,99 @@
+"""HMAC-based pseudo-random functions (PRFs).
+
+The paper (Section II-A) assumes its PRFs are implemented as HMACs and
+keys them with long-lived secrets: ``K_t = HM256(K, t)``,
+``k_i,t = HM256(k_i, t)`` and ``ss_i,t = HM1(k_i, t)``.  :class:`PRF`
+packages this pattern: it fixes a key and hash algorithm and evaluates
+on *epochs* (encoded as fixed-width big-endian integers) or arbitrary
+byte strings, optionally expanding or reducing the output.
+
+The epoch encoding is 8 bytes big-endian, giving a canonical, injective
+input for all 64-bit epochs — ambiguity between inputs like ``t=1`` and
+``t="1"`` would silently weaken freshness.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hmac import HMAC
+from repro.crypto.hashes import get_hash
+from repro.errors import ParameterError
+from repro.utils.bytesops import bytes_to_int, int_to_bytes
+from repro.utils.validation import check_nonnegative_int, check_positive_int
+
+__all__ = ["PRF", "encode_epoch"]
+
+_EPOCH_BYTES = 8
+
+
+def encode_epoch(epoch: int) -> bytes:
+    """Canonical 8-byte big-endian encoding of a time epoch."""
+    check_nonnegative_int("epoch", epoch)
+    if epoch >= 1 << (8 * _EPOCH_BYTES):
+        raise ParameterError(f"epoch {epoch} exceeds 64 bits")
+    return int_to_bytes(epoch, _EPOCH_BYTES)
+
+
+class PRF:
+    """A keyed PRF ``F_K(x)`` realized as HMAC (paper Section II-A).
+
+    Parameters
+    ----------
+    key:
+        The long-lived secret (e.g. the paper's ``K`` or ``k_i``).
+    algorithm:
+        ``"sha1"`` for the paper's ``HM1`` flavour (20-byte outputs) or
+        ``"sha256"`` for ``HM256`` (32-byte outputs).
+    backend:
+        Optional hash-backend override (see :mod:`repro.crypto.hashes`).
+    """
+
+    def __init__(self, key: bytes, algorithm: str = "sha256", backend: str | None = None) -> None:
+        if not isinstance(key, (bytes, bytearray)) or len(key) == 0:
+            raise ParameterError("PRF key must be a non-empty byte string")
+        self._key = bytes(key)
+        self._hash = get_hash(algorithm, backend)
+        self.algorithm = algorithm
+
+    @property
+    def output_size(self) -> int:
+        """Digest size in bytes (20 for sha1, 32 for sha256)."""
+        return self._hash.digest_size
+
+    def evaluate(self, message: bytes) -> bytes:
+        """``F_K(message)`` as raw bytes (one HMAC evaluation)."""
+        return HMAC(self._key, self._hash, message).digest()
+
+    def at_epoch(self, epoch: int) -> bytes:
+        """``F_K(t)`` with the canonical epoch encoding — the paper's use."""
+        return self.evaluate(encode_epoch(epoch))
+
+    def int_at_epoch(self, epoch: int, modulus: int | None = None) -> int:
+        """``F_K(t)`` as a big-endian integer, optionally reduced mod *modulus*."""
+        value = bytes_to_int(self.at_epoch(epoch))
+        if modulus is not None:
+            check_positive_int("modulus", modulus)
+            value %= modulus
+        return value
+
+    def expand(self, message: bytes, length: int) -> bytes:
+        """Counter-mode output expansion to *length* bytes.
+
+        Evaluates ``F_K(message ∥ counter)`` for successive 4-byte
+        counters and concatenates — the standard KDF-in-counter-mode
+        construction.  Used where the extensions need more than one
+        digest of keystream (never on the paper's critical path).
+        """
+        check_positive_int("length", length)
+        blocks = []
+        counter = 0
+        while sum(len(b) for b in blocks) < length:
+            blocks.append(self.evaluate(message + int_to_bytes(counter, 4)))
+            counter += 1
+        return b"".join(blocks)[:length]
+
+    def derive_key(self, label: str, length: int | None = None) -> bytes:
+        """A labelled subkey ``F_K("derive" ∥ label)`` for domain separation."""
+        material = self.evaluate(b"derive:" + label.encode("utf-8"))
+        if length is None or length == len(material):
+            return material
+        return self.expand(b"derive:" + label.encode("utf-8"), length)

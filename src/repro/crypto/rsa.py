@@ -1,0 +1,116 @@
+"""Textbook RSA, built from scratch.
+
+SECOA's deflation certificates (SEALs) are one-way chains obtained by
+*iterating the RSA encryption function* on a secret seed (paper Section
+II-D): rolling a SEAL forward one step is one modular exponentiation
+with the public exponent; going backwards requires the private key,
+which nobody in the network holds.  Folding multiplies SEALs modulo the
+RSA modulus, which commutes with encryption because raw RSA is
+multiplicatively homomorphic.
+
+Only *raw* (unpadded) RSA is provided — that is exactly what SEALs
+need; padding would destroy the homomorphism.  This is therefore not a
+general-purpose encryption module and is documented as such.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+
+from repro.crypto.modular import crt_pair, modinv
+from repro.crypto.primes import random_prime
+from repro.errors import ParameterError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["RSAPublicKey", "RSAKeyPair", "generate_rsa_keypair", "DEFAULT_RSA_BITS"]
+
+#: 1024-bit modulus = the paper's 128-byte SEALs (Table II: S_SEAL = 128 B).
+DEFAULT_RSA_BITS = 1024
+
+_DEFAULT_PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """Public half of an RSA key: modulus ``n`` and exponent ``e``."""
+
+    n: int
+    e: int
+
+    @property
+    def modulus_bytes(self) -> int:
+        """Byte length of the modulus — the wire size of one SEAL."""
+        return (self.n.bit_length() + 7) // 8
+
+    def encrypt(self, m: int) -> int:
+        """Raw RSA: ``m^e mod n`` (one SEAL *rolling* step)."""
+        if not 0 <= m < self.n:
+            raise ParameterError("RSA plaintext must be in [0, n)")
+        return pow(m, self.e, self.n)
+
+    def encrypt_iterated(self, m: int, times: int) -> int:
+        """Apply :meth:`encrypt` *times* times: ``E^times(m)``.
+
+        This realizes a SEAL for value ``times`` from seed ``m``; cost is
+        ``times`` modular exponentiations, matching the paper's
+        ``rl_i * C_RSA`` terms.
+        """
+        if times < 0:
+            raise ParameterError("cannot roll a SEAL backwards without the private key")
+        c = m % self.n
+        for _ in range(times):
+            c = pow(c, self.e, self.n)
+        return c
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    """A full RSA key pair; decryption exists for tests/extensions only."""
+
+    public: RSAPublicKey
+    d: int
+    p: int
+    q: int
+
+    def decrypt(self, c: int) -> int:
+        """Raw RSA decryption via CRT (``m = c^d mod n``)."""
+        if not 0 <= c < self.public.n:
+            raise ParameterError("RSA ciphertext must be in [0, n)")
+        mp = pow(c % self.p, self.d % (self.p - 1), self.p)
+        mq = pow(c % self.q, self.d % (self.q - 1), self.q)
+        return crt_pair(mp, self.p, mq, self.q)
+
+
+def generate_rsa_keypair(
+    bits: int = DEFAULT_RSA_BITS,
+    *,
+    rng: _random.Random | None = None,
+    public_exponent: int = _DEFAULT_PUBLIC_EXPONENT,
+) -> RSAKeyPair:
+    """Generate an RSA key pair with a modulus of exactly *bits* bits.
+
+    *rng* should be a seeded generator in simulations for replayability;
+    it defaults to :class:`random.SystemRandom` for standalone use.
+    """
+    check_positive_int("bits", bits)
+    if bits < 64:
+        raise ParameterError("refusing to generate an RSA modulus below 64 bits")
+    if bits % 2:
+        raise ParameterError("RSA modulus bit length must be even")
+    rng = rng or _random.SystemRandom()
+    half = bits // 2
+    while True:
+        p = random_prime(half, rng)
+        q = random_prime(half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = modinv(public_exponent, phi)
+        except ParameterError:
+            continue  # e not coprime with phi; redraw primes
+        return RSAKeyPair(public=RSAPublicKey(n=n, e=public_exponent), d=d, p=p, q=q)

@@ -1,0 +1,80 @@
+"""Additive N-out-of-N secret sharing (paper Section III-D).
+
+A secret ``s`` is split into shares ``ss_1 … ss_N`` with
+``s = Σ ss_i``; any ``N-1`` shares are statistically independent of the
+secret, so reconstruction requires *all* parties — exactly the property
+SIES exploits: the querier accepts a SUM only if the aggregate plaintext
+carries the complete secret, proving every source's contribution was
+included exactly once.
+
+Two directions are supported:
+
+* :meth:`AdditiveSecretSharing.split` — the textbook dealer view: pick
+  ``N-1`` random shares, set the last to ``s - Σ ss_i``.
+* :func:`reconstruct` — summation, optionally modular.
+
+SIES itself uses the *implicit dealer* pattern: shares are PRF outputs
+``ss_i,t = HM1(k_i, t)`` and the "secret" is defined as their sum; the
+class supports that too via :meth:`combine`.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from collections.abc import Iterable, Sequence
+
+from repro.errors import ParameterError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["AdditiveSecretSharing", "reconstruct"]
+
+
+def reconstruct(shares: Iterable[int], modulus: int | None = None) -> int:
+    """Recover the secret as the (optionally modular) sum of the shares."""
+    total = 0
+    for share in shares:
+        total += share
+        if modulus is not None:
+            total %= modulus
+    return total
+
+
+class AdditiveSecretSharing:
+    """Dealer for additive sharing over ``Z`` or ``Z_modulus``.
+
+    Over the integers (``modulus=None``) shares are drawn from
+    ``[0, 2^share_bits)`` and the last share may be negative; SIES's
+    PRF-generated shares live in the non-negative integer setting and
+    are summed without reduction (overflow is absorbed by the plaintext
+    pad bits, paper Fig. 2).
+    """
+
+    def __init__(self, parties: int, *, modulus: int | None = None, share_bits: int = 160) -> None:
+        check_positive_int("parties", parties)
+        if modulus is not None and modulus < 2:
+            raise ParameterError(f"modulus must be >= 2, got {modulus}")
+        check_positive_int("share_bits", share_bits)
+        self.parties = parties
+        self.modulus = modulus
+        self.share_bits = share_bits
+
+    def split(self, secret: int, rng: _random.Random | None = None) -> list[int]:
+        """Split *secret* into ``parties`` shares whose sum is the secret."""
+        rng = rng or _random.SystemRandom()
+        if self.modulus is not None:
+            secret %= self.modulus
+            shares = [rng.randrange(self.modulus) for _ in range(self.parties - 1)]
+            last = (secret - sum(shares)) % self.modulus
+        else:
+            shares = [rng.getrandbits(self.share_bits) for _ in range(self.parties - 1)]
+            last = secret - sum(shares)
+        shares.append(last)
+        return shares
+
+    def combine(self, shares: Sequence[int]) -> int:
+        """Reconstruct; validates that *all* shares are present."""
+        if len(shares) != self.parties:
+            raise ParameterError(
+                f"need exactly {self.parties} shares to reconstruct, got {len(shares)}"
+            )
+        return reconstruct(shares, self.modulus)

@@ -1,0 +1,117 @@
+"""Pure-Python SHA-1 (FIPS 180-4).
+
+This is the *reference* backend behind :func:`repro.crypto.hashes.sha1`.
+It exists so the library genuinely implements its own hash substrate —
+the ``hashlib`` backend is only a drop-in fast path, and the test suite
+cross-checks the two on random inputs.
+
+The implementation follows FIPS 180-4 §6.1: 512-bit blocks, an 80-word
+message schedule, and the ``Ch``/``Parity``/``Maj`` round functions.
+
+.. warning:: SHA-1 is cryptographically broken for collision resistance;
+   the paper (2011) uses it for HMAC, where it remains unbroken as a PRF.
+   We keep it for fidelity to the paper's ``HM1``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["SHA1", "sha1_digest"]
+
+_MASK32 = 0xFFFFFFFF
+
+_INITIAL_STATE = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+_K = (0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6)
+
+
+def _rotl(value: int, amount: int) -> int:
+    """Rotate a 32-bit word left by *amount* bits."""
+    return ((value << amount) | (value >> (32 - amount))) & _MASK32
+
+
+class SHA1:
+    """Incremental SHA-1 with the ``hashlib``-style update/digest API."""
+
+    digest_size = 20
+    block_size = 64
+    name = "sha1"
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = list(_INITIAL_STATE)
+        self._buffer = b""
+        self._length = 0  # total message length in bytes
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Absorb *data* into the running hash state."""
+        self._length += len(data)
+        buffer = self._buffer + data
+        offset = 0
+        for offset in range(0, len(buffer) - 63, 64):
+            self._compress(buffer[offset : offset + 64])
+        consumed = (len(buffer) // 64) * 64
+        self._buffer = buffer[consumed:]
+
+    def copy(self) -> "SHA1":
+        """An independent clone of the current state."""
+        clone = SHA1()
+        clone._state = list(self._state)
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+    def digest(self) -> bytes:
+        """The 20-byte digest of everything absorbed so far."""
+        clone = self.copy()
+        clone._finalize()
+        return struct.pack(">5I", *clone._state)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+    def _finalize(self) -> None:
+        bit_length = self._length * 8
+        # Pad: 0x80, zeros to 56 mod 64, then the 64-bit length.
+        padding = b"\x80" + b"\x00" * ((55 - self._length) % 64)
+        trailer = struct.pack(">Q", bit_length)
+        tail = self._buffer + padding + trailer
+        for offset in range(0, len(tail), 64):
+            self._compress(tail[offset : offset + 64])
+        self._buffer = b""
+
+    def _compress(self, block: bytes) -> None:
+        w = list(struct.unpack(">16I", block))
+        for i in range(16, 80):
+            w.append(_rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+
+        a, b, c, d, e = self._state
+        for i in range(80):
+            if i < 20:
+                f = (b & c) | (~b & d)
+                k = _K[0]
+            elif i < 40:
+                f = b ^ c ^ d
+                k = _K[1]
+            elif i < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = _K[2]
+            else:
+                f = b ^ c ^ d
+                k = _K[3]
+            temp = (_rotl(a, 5) + f + e + k + w[i]) & _MASK32
+            a, b, c, d, e = temp, a, _rotl(b, 30), c, d
+
+        state = self._state
+        state[0] = (state[0] + a) & _MASK32
+        state[1] = (state[1] + b) & _MASK32
+        state[2] = (state[2] + c) & _MASK32
+        state[3] = (state[3] + d) & _MASK32
+        state[4] = (state[4] + e) & _MASK32
+
+
+def sha1_digest(data: bytes) -> bytes:
+    """One-shot SHA-1 of *data* using the pure-Python implementation."""
+    return SHA1(data).digest()

@@ -1,0 +1,119 @@
+"""Pure-Python SHA-256 (FIPS 180-4).
+
+Reference backend behind :func:`repro.crypto.hashes.sha256`; see the
+module docstring of :mod:`repro.crypto.sha1` for the role it plays.
+Follows FIPS 180-4 §6.2: 512-bit blocks, 64-word schedule with the
+σ0/σ1 small-sigma expansions and Σ0/Σ1 round functions.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["SHA256", "sha256_digest"]
+
+_MASK32 = 0xFFFFFFFF
+
+_INITIAL_STATE = (
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+)
+
+# Round constants: first 32 bits of the fractional parts of the cube
+# roots of the first 64 primes (FIPS 180-4 §4.2.2).
+_K = (
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
+    0x923F82A4, 0xAB1C5ED5, 0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174, 0xE49B69C1, 0xEFBE4786,
+    0x0FC19DC6, 0x240CA1CC, 0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7, 0xC6E00BF3, 0xD5A79147,
+    0x06CA6351, 0x14292967, 0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85, 0xA2BFE8A1, 0xA81A664B,
+    0xC24B8B70, 0xC76C51A3, 0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5, 0x391C0CB3, 0x4ED8AA4A,
+    0x5B9CCA4F, 0x682E6FF3, 0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+)
+
+
+def _rotr(value: int, amount: int) -> int:
+    """Rotate a 32-bit word right by *amount* bits."""
+    return ((value >> amount) | (value << (32 - amount))) & _MASK32
+
+
+class SHA256:
+    """Incremental SHA-256 with the ``hashlib``-style update/digest API."""
+
+    digest_size = 32
+    block_size = 64
+    name = "sha256"
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = list(_INITIAL_STATE)
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Absorb *data* into the running hash state."""
+        self._length += len(data)
+        buffer = self._buffer + data
+        for offset in range(0, len(buffer) - 63, 64):
+            self._compress(buffer[offset : offset + 64])
+        consumed = (len(buffer) // 64) * 64
+        self._buffer = buffer[consumed:]
+
+    def copy(self) -> "SHA256":
+        """An independent clone of the current state."""
+        clone = SHA256()
+        clone._state = list(self._state)
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+    def digest(self) -> bytes:
+        """The 32-byte digest of everything absorbed so far."""
+        clone = self.copy()
+        clone._finalize()
+        return struct.pack(">8I", *clone._state)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+    def _finalize(self) -> None:
+        bit_length = self._length * 8
+        padding = b"\x80" + b"\x00" * ((55 - self._length) % 64)
+        trailer = struct.pack(">Q", bit_length)
+        tail = self._buffer + padding + trailer
+        for offset in range(0, len(tail), 64):
+            self._compress(tail[offset : offset + 64])
+        self._buffer = b""
+
+    def _compress(self, block: bytes) -> None:
+        w = list(struct.unpack(">16I", block))
+        for i in range(16, 64):
+            s0 = _rotr(w[i - 15], 7) ^ _rotr(w[i - 15], 18) ^ (w[i - 15] >> 3)
+            s1 = _rotr(w[i - 2], 17) ^ _rotr(w[i - 2], 19) ^ (w[i - 2] >> 10)
+            w.append((w[i - 16] + s0 + w[i - 7] + s1) & _MASK32)
+
+        a, b, c, d, e, f, g, h = self._state
+        for i in range(64):
+            big_s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
+            ch = (e & f) ^ (~e & g)
+            temp1 = (h + big_s1 + ch + _K[i] + w[i]) & _MASK32
+            big_s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
+            maj = (a & b) ^ (a & c) ^ (b & c)
+            temp2 = (big_s0 + maj) & _MASK32
+            h, g, f, e, d, c, b, a = (
+                g, f, e, (d + temp1) & _MASK32, c, b, a, (temp1 + temp2) & _MASK32,
+            )
+
+        state = self._state
+        for idx, word in enumerate((a, b, c, d, e, f, g, h)):
+            state[idx] = (state[idx] + word) & _MASK32
+
+
+def sha256_digest(data: bytes) -> bytes:
+    """One-shot SHA-256 of *data* using the pure-Python implementation."""
+    return SHA256(data).digest()

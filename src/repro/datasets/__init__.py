@@ -1,0 +1,21 @@
+"""Datasets and workload generators.
+
+The paper draws source values from the Intel Lab sensor-temperature
+trace, restricted to [18, 50] °C, and scales the domain by powers of
+ten to vary decimal precision.  We cannot ship the proprietary-hosted
+trace, so :mod:`repro.datasets.intel_lab` generates a statistically
+similar synthetic trace (see DESIGN.md §5 for why the substitution
+preserves the evaluated behaviour), and :mod:`repro.datasets.workload`
+implements the paper's domain-scaling discipline on top of any trace.
+"""
+
+from repro.datasets.intel_lab import IntelLabSynthesizer, TemperatureReading
+from repro.datasets.workload import DomainScaledWorkload, UniformWorkload, domain_for_scale
+
+__all__ = [
+    "IntelLabSynthesizer",
+    "TemperatureReading",
+    "DomainScaledWorkload",
+    "UniformWorkload",
+    "domain_for_scale",
+]

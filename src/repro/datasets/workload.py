@@ -1,0 +1,113 @@
+"""Workloads: integer value streams fed to the sources each epoch.
+
+A workload is any callable ``(source_id, epoch) -> int``.  The paper's
+experimental workload (Section VI) draws a temperature reading per
+source per epoch and scales it by a power of ten:
+
+    "each source multiplies its drawn value with powers of 10, and then
+     truncates it (i.e., D takes values [18, 50], [180, 500], etc.)"
+
+:class:`DomainScaledWorkload` implements exactly that over any reading
+source (the synthetic Intel-Lab trace by default), including the
+query-predicate rule that non-matching sources "simply transmit 0".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.datasets.intel_lab import IntelLabSynthesizer
+from repro.errors import DatasetError
+from repro.utils.rng import DeterministicRandom
+from repro.utils.validation import check_positive_int
+
+__all__ = ["domain_for_scale", "DomainScaledWorkload", "UniformWorkload", "PAPER_BASE_DOMAIN"]
+
+#: The paper's base value domain, in degrees Celsius.
+PAPER_BASE_DOMAIN = (18, 50)
+
+
+def domain_for_scale(scale: int, base: tuple[int, int] = PAPER_BASE_DOMAIN) -> tuple[int, int]:
+    """The integer domain ``[D_L, D_U]`` after scaling by *scale*.
+
+    ``scale=1`` gives [18, 50]; ``scale=100`` gives the default
+    [1800, 5000] of Table IV.
+    """
+    check_positive_int("scale", scale)
+    return (base[0] * scale, base[1] * scale)
+
+
+class DomainScaledWorkload:
+    """The paper's workload: Intel-Lab-style readings × 10^k, truncated.
+
+    Parameters
+    ----------
+    num_sources:
+        Number of sources drawing values.
+    scale:
+        The domain multiplier (1, 10, 100, 1000, 10000 in the paper).
+    seed:
+        Seed for the underlying synthetic trace.
+    predicate:
+        Optional ``(source_id, epoch, raw_celsius) -> bool``; sources
+        failing it transmit 0, per the paper's query template semantics.
+    """
+
+    def __init__(
+        self,
+        num_sources: int,
+        *,
+        scale: int = 100,
+        seed: int = 0,
+        predicate: Callable[[int, int, float], bool] | None = None,
+        synthesizer: IntelLabSynthesizer | None = None,
+    ) -> None:
+        check_positive_int("num_sources", num_sources)
+        check_positive_int("scale", scale)
+        self.num_sources = num_sources
+        self.scale = scale
+        self.predicate = predicate
+        self.dataset = synthesizer or IntelLabSynthesizer(num_sources, seed=seed)
+        if self.dataset.num_motes < num_sources:
+            raise DatasetError(
+                f"synthesizer provides {self.dataset.num_motes} motes but "
+                f"{num_sources} sources were requested"
+            )
+        self.domain = domain_for_scale(
+            scale, (int(self.dataset.low_c), int(self.dataset.high_c))
+        )
+
+    def raw_celsius(self, source_id: int, epoch: int) -> float:
+        """The unscaled reading (for AVG/derived-query checks in tests)."""
+        return self.dataset.reading(source_id, epoch).temperature_c
+
+    def __call__(self, source_id: int, epoch: int) -> int:
+        reading = self.dataset.reading(source_id, epoch)
+        if self.predicate is not None and not self.predicate(
+            source_id, epoch, reading.temperature_c
+        ):
+            return 0
+        return int(reading.temperature_c * self.scale)
+
+    def max_possible_sum(self) -> int:
+        """Upper bound on one epoch's SUM — used to size SIES layouts."""
+        return self.domain[1] * self.num_sources
+
+
+class UniformWorkload:
+    """Uniform integer readings in ``[low, high]`` (tests and ablations)."""
+
+    def __init__(self, num_sources: int, low: int, high: int, *, seed: int = 0) -> None:
+        check_positive_int("num_sources", num_sources)
+        if not 0 <= low <= high:
+            raise DatasetError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.num_sources = num_sources
+        self.domain = (low, high)
+        self._seed = seed
+
+    def __call__(self, source_id: int, epoch: int) -> int:
+        rng = DeterministicRandom(self._seed, "uniform", f"{source_id}", f"{epoch}")
+        return rng.randint(*self.domain)
+
+    def max_possible_sum(self) -> int:
+        return self.domain[1] * self.num_sources

@@ -1,0 +1,179 @@
+"""Full-lifecycle deployments: the paper's system, end to end.
+
+The papers' system life cycle (Sections III-A, IV-A) is:
+
+1. **provisioning** — the querier generates keys, picks ``p``, and
+   *manually registers* material on sensors; the μTesla commitment is
+   pre-installed;
+2. **query dissemination** — the querier broadcasts the continuous
+   query with μTesla; sources buffer it and start answering once the
+   disclosed key authenticates it (one disclosure delay later);
+3. **steady state** — the push-based epochs of the aggregation process;
+4. **re-tasking** — a new query is broadcast "without re-establishing
+   any keys"; sources switch over after it authenticates.
+
+:class:`Deployment` wires those stages over the existing pieces
+(:class:`~repro.queries.dissemination.QueryDisseminator`/``Listener``,
+:class:`~repro.queries.engine.ContinuousQuery``) so applications and
+examples can drive one object through the whole story — including the
+authentication gap: epochs between a query's broadcast and its
+disclosure produce no answer, exactly like a real μTesla network.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+
+from repro.datasets.intel_lab import IntelLabSynthesizer
+from repro.errors import ConfigurationError, QueryError
+from repro.network.topology import AggregationTree, build_complete_tree
+from repro.queries.dissemination import QueryDisseminator, QueryListener
+from repro.queries.engine import ContinuousQuery, QueryAnswer
+from repro.queries.query import Query
+from repro.utils.rng import DeterministicRandom, derive_seed
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Deployment", "DeploymentLogEntry"]
+
+
+@dataclass
+class DeploymentLogEntry:
+    """One epoch's outcome in the deployment journal."""
+
+    epoch: int
+    event: str  # "idle" | "broadcast" | "registered" | "answer"
+    query_sql: str | None = None
+    answer: QueryAnswer | None = None
+
+
+@dataclass
+class Deployment:
+    """A provisioned sensor network awaiting queries.
+
+    Epochs advance only through :meth:`step`; queries issued via
+    :meth:`issue_query` become active after the μTesla disclosure delay.
+    """
+
+    num_sources: int
+    fanout: int = 4
+    scale: int = 100
+    protocol: str = "sies"
+    seed: int = 0
+    disclosure_delay: int = 2
+
+    #: Set in __post_init__.
+    tree: AggregationTree = field(init=False)
+    log: list[DeploymentLogEntry] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_positive_int("num_sources", self.num_sources)
+        self.tree = build_complete_tree(self.num_sources, self.fanout)
+        self._dataset = IntelLabSynthesizer(self.num_sources, seed=self.seed)
+        # Provisioning: μTesla chain root is querier-local randomness;
+        # with a seed the whole deployment replays deterministically.
+        if self.seed:
+            root = DeterministicRandom(self.seed, "deployment-chain").random_bytes(32)
+        else:
+            root = secrets.token_bytes(32)
+        self._disseminator = QueryDisseminator(
+            root, chain_length=4096, disclosure_delay=self.disclosure_delay
+        )
+        # One listener stands in for the sources' shared broadcast state
+        # (every source receives the same packets in this simulation).
+        self._listener = QueryListener.with_commitment(
+            self._disseminator.commitment, disclosure_delay=self.disclosure_delay
+        )
+        self._engine: ContinuousQuery | None = None
+        self._engine_query: Query | None = None
+        self._pending: dict[int, Query] = {}
+        self._epoch = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def current_epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def active_query(self) -> Query | None:
+        """The query the sources are currently answering."""
+        return self._listener.active_query
+
+    def issue_query(self, query: Query) -> int:
+        """Broadcast *query* now; returns the epoch it will activate.
+
+        The packet is MACed with the *next* epoch's chain key and
+        authenticates when that key is disclosed ``delay`` epochs later.
+        """
+        broadcast_epoch = self._epoch + 1
+        packet = self._disseminator.broadcast_query(query, broadcast_epoch)
+        accepted = self._listener.receive(packet, current_epoch=self._epoch)
+        if not accepted:
+            raise ConfigurationError("broadcast rejected: clock skew exceeds the delay")
+        self._pending[broadcast_epoch] = query
+        self.log.append(
+            DeploymentLogEntry(
+                epoch=self._epoch, event="broadcast", query_sql=query.sql()
+            )
+        )
+        return broadcast_epoch + self.disclosure_delay
+
+    def step(self) -> DeploymentLogEntry:
+        """Advance one epoch: disclose due keys, then run the active query."""
+        self._epoch += 1
+        epoch = self._epoch
+
+        # Key disclosure for broadcasts whose silence window just ended.
+        due = epoch - self.disclosure_delay
+        if due in self._pending:
+            registered = self._listener.on_key_disclosed(
+                due, self._disseminator.disclose_key(due)
+            )
+            del self._pending[due]
+            if registered:
+                self._activate(registered[-1])
+                entry = DeploymentLogEntry(
+                    epoch=epoch, event="registered", query_sql=registered[-1].sql()
+                )
+                self.log.append(entry)
+
+        if self._engine is None:
+            entry = DeploymentLogEntry(epoch=epoch, event="idle")
+            self.log.append(entry)
+            return entry
+
+        answer = self._engine.run_epoch(epoch)
+        assert self._engine_query is not None
+        entry = DeploymentLogEntry(
+            epoch=epoch,
+            event="answer",
+            query_sql=self._engine_query.sql(),
+            answer=answer,
+        )
+        self.log.append(entry)
+        return entry
+
+    def run(self, epochs: int) -> list[DeploymentLogEntry]:
+        check_positive_int("epochs", epochs)
+        return [self.step() for _ in range(epochs)]
+
+    def answers(self) -> list[QueryAnswer]:
+        """All answers produced so far, in epoch order."""
+        return [e.answer for e in self.log if e.answer is not None]
+
+    # ------------------------------------------------------------------
+
+    def _activate(self, query: Query) -> None:
+        if query.aggregate.value == "MAX" and self.protocol != "secoa_m":
+            raise QueryError("this deployment's protocol cannot answer MAX")
+        self._engine = ContinuousQuery(
+            query,
+            self.num_sources,
+            protocol=self.protocol,
+            scale=self.scale,
+            seed=derive_seed(self.seed, "deployment", query.sql()),
+            tree=self.tree,
+            synthesizer=self._dataset,
+        )
+        self._engine_query = query

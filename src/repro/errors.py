@@ -1,0 +1,110 @@
+"""Exception hierarchy for the SIES reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing configuration mistakes from security events.
+
+Security-relevant failures (integrity, freshness, authentication) derive
+from :class:`SecurityError`.  They are *expected* outcomes when the
+simulator mounts attacks, and carry enough context for the attack
+scenarios in :mod:`repro.attacks` to assert on the detection path.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ParameterError",
+    "LayoutError",
+    "KeyMaterialError",
+    "TopologyError",
+    "SimulationError",
+    "ProtocolError",
+    "SecurityError",
+    "IntegrityError",
+    "FreshnessError",
+    "AuthenticationError",
+    "VerificationFailure",
+    "OverflowCapacityError",
+    "DatasetError",
+    "QueryError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or wired together incorrectly."""
+
+
+class ParameterError(ConfigurationError, ValueError):
+    """A parameter value is outside its documented domain."""
+
+
+class LayoutError(ParameterError):
+    """A SIES message bit-layout cannot accommodate the requested sizes."""
+
+
+class KeyMaterialError(ConfigurationError):
+    """Key material is missing, malformed, or inconsistent."""
+
+
+class TopologyError(ConfigurationError):
+    """An aggregation tree is malformed (cycle, orphan, bad fanout...)."""
+
+
+class SimulationError(ReproError):
+    """The network simulator reached an inconsistent state."""
+
+
+class ProtocolError(ReproError):
+    """A protocol message violates the protocol's framing or sequencing."""
+
+
+class SecurityError(ReproError):
+    """Base class for detected violations of a security property."""
+
+
+class IntegrityError(SecurityError):
+    """Result verification failed: the aggregate was tampered with.
+
+    Raised by the SIES querier when the extracted secret ``s_t`` does not
+    match ``sum(ss_i,t)`` (paper Theorem 2), and by SECOA when a SEAL or
+    inflation certificate fails to verify.
+    """
+
+
+class FreshnessError(SecurityError):
+    """A replayed (stale-epoch) result was detected (paper Theorem 4)."""
+
+
+class AuthenticationError(SecurityError):
+    """A message failed origin authentication (e.g. a forged broadcast)."""
+
+
+class VerificationFailure(IntegrityError):
+    """Generic verification failure carrying the offending epoch."""
+
+    def __init__(self, message: str, *, epoch: int | None = None) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+
+
+class OverflowCapacityError(ProtocolError):
+    """An aggregate exceeded the capacity of its message field.
+
+    SIES reserves a 4-byte (optionally 8-byte) field for the SUM result;
+    feeding values whose sum exceeds it is a caller error that must be
+    surfaced rather than silently wrapped (paper footnote 1).
+    """
+
+
+class DatasetError(ReproError):
+    """A dataset generator received invalid arguments or ran dry."""
+
+
+class QueryError(ReproError):
+    """A query specification is invalid or unsupported."""

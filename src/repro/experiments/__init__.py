@@ -1,0 +1,19 @@
+"""Experiment harness: one driver per paper table/figure.
+
+Every driver module exposes ``run(**params) -> ExperimentReport`` and a
+``main()`` that prints the same rows/series the paper reports, plus the
+paper's reference values for comparison.  Run them as::
+
+    python -m repro.experiments.table2     # Table II constants
+    python -m repro.experiments.table3     # Table III cost models
+    python -m repro.experiments.table5     # Table V communication
+    python -m repro.experiments.fig4       # Fig. 4 source CPU vs domain
+    python -m repro.experiments.fig5       # Fig. 5 aggregator CPU vs fanout
+    python -m repro.experiments.fig6a      # Fig. 6(a) querier CPU vs N
+    python -m repro.experiments.fig6b     # Fig. 6(b) querier CPU vs domain
+    python -m repro.experiments.run_all    # everything -> EXPERIMENTS data
+"""
+
+from repro.experiments.reporting import ExperimentReport, render_report
+
+__all__ = ["ExperimentReport", "render_report"]

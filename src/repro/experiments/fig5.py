@@ -1,0 +1,114 @@
+"""Figure 5 — computational cost at the aggregator vs. the fanout.
+
+Series (paper: N=1024, D=[1800,5000], F ∈ {2..6}): measured merge time
+for SIES, CMT and SECOA_S, plus model values.  Expected shape: all
+linear in F; SIES within a few μs (pure modular additions); SECOA_S
+roughly two orders of magnitude above (per-sketch folding
+multiplications plus rolling RSA encryptions).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cmt import CMTProtocol
+from repro.baselines.secoa.secoa_sum import SECOASumProtocol
+from repro.core.protocol import SIESProtocol
+from repro.costmodel.microbench import measure_constants
+from repro.costmodel.models import cmt_costs, secoas_cost_bounds, sies_costs
+from repro.costmodel.tables import DEFAULTS
+from repro.datasets.workload import domain_for_scale
+from repro.experiments.common import measure_aggregator_cost, paper_workload
+from repro.experiments.reporting import ExperimentReport, format_seconds, render_report
+
+__all__ = ["run", "main", "PAPER_FANOUTS"]
+
+PAPER_FANOUTS = (2, 3, 4, 5, 6)
+
+
+def run(
+    *,
+    fanouts: tuple[int, ...] = PAPER_FANOUTS,
+    num_sources: int = DEFAULTS["num_sources"],
+    num_sketches: int = DEFAULTS["num_sketches"],
+    scale: int = 100,
+    fast_epochs: int = 20,
+    secoa_epochs: int = 3,
+    seed: int = 2011,
+) -> ExperimentReport:
+    """Regenerate Fig. 5's series: aggregator CPU across the fanout sweep."""
+    host = measure_constants()
+    domain = domain_for_scale(scale)
+    workload = paper_workload(num_sources, scale, seed=seed)
+
+    report = ExperimentReport(
+        experiment_id="Fig. 5",
+        title="Computational cost at the aggregator vs. the fanout",
+        parameters={"N": num_sources, "D": list(domain), "J": num_sketches},
+        columns=[
+            "fanout",
+            "SIES meas",
+            "CMT meas",
+            "SECOA meas",
+            "SIES model",
+            "SECOA model min-max (host)",
+        ],
+    )
+    series: dict[str, list[float]] = {
+        "sies": [], "cmt": [], "secoa": [],
+        "sies_model": [], "cmt_model": [], "secoa_model_min": [], "secoa_model_max": [],
+    }
+    for fanout in fanouts:
+        sies = measure_aggregator_cost(
+            SIESProtocol(num_sources, seed=seed), workload,
+            fanout=fanout, epochs=list(range(1, fast_epochs + 1)),
+        )
+        cmt = measure_aggregator_cost(
+            CMTProtocol(num_sources, seed=seed), workload,
+            fanout=fanout, epochs=list(range(1, fast_epochs + 1)),
+        )
+        secoa = measure_aggregator_cost(
+            SECOASumProtocol(num_sources, num_sketches=num_sketches, seed=seed),
+            workload, fanout=fanout, epochs=list(range(1, secoa_epochs + 1)),
+        )
+        sies_model = sies_costs(host, num_sources=num_sources, fanout=fanout).aggregator
+        cmt_model = cmt_costs(host, num_sources=num_sources, fanout=fanout).aggregator
+        lo, hi = secoas_cost_bounds(
+            host, num_sources=num_sources, fanout=fanout,
+            num_sketches=num_sketches, domain=domain,
+        )
+        report.add_row(
+            str(fanout),
+            format_seconds(sies.mean_seconds),
+            format_seconds(cmt.mean_seconds),
+            format_seconds(secoa.mean_seconds),
+            format_seconds(sies_model),
+            f"{format_seconds(lo.aggregator)} - {format_seconds(hi.aggregator)}",
+        )
+        series["sies"].append(sies.mean_seconds)
+        series["cmt"].append(cmt.mean_seconds)
+        series["secoa"].append(secoa.mean_seconds)
+        series["sies_model"].append(sies_model)
+        series["cmt_model"].append(cmt_model)
+        series["secoa_model_min"].append(lo.aggregator)
+        series["secoa_model_max"].append(hi.aggregator)
+
+    report.data = {"fanouts": list(fanouts), "series": series, "host_constants": host}
+    return report
+
+
+def main() -> None:
+    """Print the regenerated report (and chart, for figures)."""
+    from repro.experiments.plotting import ascii_chart
+
+    report = run()
+    print(render_report(report))
+    series = report.data["series"]
+    print()
+    print(ascii_chart(
+        [str(f) for f in report.data["fanouts"]],
+        {"SIES": series["sies"], "CMT": series["cmt"], "SECOA": series["secoa"]},
+        title="Fig. 5 — CPU at the aggregator vs. fanout (log s)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

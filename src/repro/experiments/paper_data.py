@@ -1,0 +1,88 @@
+"""The paper's reported numbers, for paper-vs-measured comparisons.
+
+Sources: Table II (constants and sizes), Table III (model evaluation at
+typical values), Table IV (system parameters), Table V (communication),
+and Section VI prose (e.g. "the CPU consumption in SIES is within range
+0.15–36 ms").  The figures are log-scale plots without printed numbers;
+the paper states its cost models bound the measurements "very
+accurately" (Fig. 6 within 0.001 relative error), so the *figure*
+reference series are the models evaluated at the Table II constants —
+see each experiment driver.
+
+Known internal inconsistencies of the paper, preserved as documented
+facts rather than silently "fixed" (also see EXPERIMENTS.md):
+
+* Table III's CMT source cost (1.17 μs) equals ``C_HM256 + C_A20``
+  although Eq. 1 uses ``C_HM1`` (0.46 + 0.15 = 0.61 μs); its CMT
+  *querier* row (0.62 ms) matches Eq. 7 with ``C_HM1``.
+* Table V's SECOA_S A–Q maximum (6.7 KB) exceeds what Eq. 11 yields
+  with the Section V bounds (≈3.3 KB, which matches Table III's 3.25 KB).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE2_CONSTANTS_US",
+    "TABLE2_SIZES_BYTES",
+    "TABLE4_PARAMETERS",
+    "TABLE3_REPORTED",
+    "TABLE5_REPORTED_BYTES",
+    "SECTION6_PROSE",
+]
+
+#: Table II "Typical Value" column, microseconds.
+TABLE2_CONSTANTS_US = {
+    "C_sk": 0.037,
+    "C_RSA": 5.36,
+    "C_HM1": 0.46,
+    "C_HM256": 1.02,
+    "C_A20": 0.15,
+    "C_A32": 0.37,
+    "C_M32": 0.45,
+    "C_M128": 1.39,
+    "C_MI32": 3.2,
+}
+
+#: Table II size rows, bytes.
+TABLE2_SIZES_BYTES = {"S_sk": 1, "S_inf": 20, "S_SEAL": 128}
+
+#: Table IV: defaults and ranges.
+TABLE4_PARAMETERS = {
+    "num_sources": {"default": 1024, "range": (64, 256, 1024, 4096, 16384)},
+    "fanout": {"default": 4, "range": (2, 3, 4, 5, 6)},
+    "domain_scale": {"default": 100, "range": (1, 10, 100, 1000, 10000)},
+    "base_domain": (18, 50),
+    "num_sketches": 300,
+    "epochs": 20,
+}
+
+#: Table III as printed (seconds / bytes).
+TABLE3_REPORTED = {
+    "Comput. cost at S": {"cmt": 1.17e-6, "secoa_min": 20.26e-3, "secoa_max": 92.75e-3, "sies": 3.46e-6},
+    "Comput. cost at A": {"cmt": 0.45e-6, "secoa_min": 1.25e-3, "secoa_max": 36.63e-3, "sies": 1.11e-6},
+    "Comput. cost at Q": {"cmt": 0.62e-3, "secoa_min": 568.46e-3, "secoa_max": 568.63e-3, "sies": 2.28e-3},
+    "Commun. cost S-A": {"cmt": 20, "secoa_min": 38720, "secoa_max": 38720, "sies": 32},
+    "Commun. cost A-A": {"cmt": 20, "secoa_min": 38720, "secoa_max": 38720, "sies": 32},
+    "Commun. cost A-Q": {"cmt": 20, "secoa_min": 448, "secoa_max": 3328, "sies": 32},
+}
+
+#: Table V as printed (bytes; KB in the paper are binary: 37.8 KB = 38720 B).
+TABLE5_REPORTED_BYTES = {
+    "S-A": {"cmt": 20, "secoa_actual": 38720, "secoa_min": 38720, "secoa_max": 38720, "sies": 32},
+    "A-A": {"cmt": 20, "secoa_actual": 38720, "secoa_min": 38720, "secoa_max": 38720, "sies": 32},
+    "A-Q": {"cmt": 20, "secoa_actual": 832, "secoa_min": 448, "secoa_max": 6861, "sies": 32},
+}
+
+#: Quantitative claims from the Section VI prose, for shape checks.
+SECTION6_PROSE = {
+    # "SIES outperforms SECOA_S by more than two orders of magnitude" (source)
+    "fig4_sies_vs_secoa_min_factor": 100,
+    # "the cost in SIES is within 0.3-2 us" (aggregator)
+    "fig5_sies_range_s": (0.3e-6, 2e-6),
+    # "SIES outperforms SECOA_S by approximately two orders of magnitude" (aggregator)
+    "fig5_sies_vs_secoa_min_factor": 100,
+    # "The CPU consumption in SIES is within range 0.15-36 ms" (querier, N sweep)
+    "fig6a_sies_range_s": (0.15e-3, 36e-3),
+    # "SIES outperforms SECOA_S by more than one order of magnitude" (querier)
+    "fig6_sies_vs_secoa_min_factor": 10,
+}

@@ -1,0 +1,115 @@
+"""ASCII charts for the figure drivers.
+
+The paper's figures are log-scale line plots; this module renders the
+same series as monospace charts so `python -m repro.experiments.figX`
+produces a *figure*, not only a table.  Pure text — no plotting
+dependencies — with a logarithmic y-axis (the paper's figures span up
+to eight decades).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ParameterError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float | None]],
+    *,
+    title: str = "",
+    y_unit: str = "s",
+    height: int = 14,
+    log_y: bool = True,
+) -> str:
+    """Render *series* over categorical *x_labels* as an ASCII chart.
+
+    ``None`` values are simply skipped (e.g. intractable measurement
+    points).  With ``log_y`` the vertical axis is decade-scaled, like
+    the paper's figures.
+    """
+    if height < 4:
+        raise ParameterError("chart height must be at least 4 rows")
+    if not x_labels:
+        raise ParameterError("chart needs at least one x position")
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ParameterError(
+                f"series {name!r} has {len(values)} points for {len(x_labels)} x labels"
+            )
+
+    points = [v for values in series.values() for v in values if v is not None and v > 0]
+    if not points:
+        raise ParameterError("chart needs at least one positive data point")
+    lo, hi = min(points), max(points)
+    if log_y:
+        lo_t, hi_t = math.log10(lo), math.log10(hi)
+    else:
+        lo_t, hi_t = lo, hi
+    if hi_t - lo_t < 1e-12:
+        hi_t = lo_t + 1.0
+
+    def row_of(value: float) -> int:
+        t = math.log10(value) if log_y else value
+        fraction = (t - lo_t) / (hi_t - lo_t)
+        return min(height - 1, max(0, round(fraction * (height - 1))))
+
+    # Column layout: each x position gets a fixed-width slot.
+    slot = max(max(len(label) for label in x_labels) + 2, 6)
+    width = slot * len(x_labels)
+    grid = [[" "] * width for _ in range(height)]
+
+    legend: list[str] = []
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        for xi, value in enumerate(values):
+            if value is None or value <= 0:
+                continue
+            row = row_of(value)
+            col = xi * slot + slot // 2
+            cell = grid[height - 1 - row][col]
+            grid[height - 1 - row][col] = "!" if cell not in (" ", marker) else marker
+
+    def axis_value(row: int) -> float:
+        t = lo_t + (row / (height - 1)) * (hi_t - lo_t)
+        return 10**t if log_y else t
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for display_row in range(height):
+        data_row = height - 1 - display_row
+        label = _format_axis(axis_value(data_row), y_unit)
+        lines.append(f"{label:>10} |{''.join(grid[display_row])}")
+    lines.append(" " * 11 + "+" + "-" * width)
+    x_axis = "".join(label.center(slot) for label in x_labels)
+    lines.append(" " * 12 + x_axis)
+    lines.append(" " * 12 + "   ".join(legend))
+    lines.append(" " * 12 + f"(y axis: {'log-scale ' if log_y else ''}{y_unit}; "
+                 "'!' marks overlapping series)")
+    return "\n".join(lines)
+
+
+def _format_axis(value: float, unit: str) -> str:
+    if unit == "s":
+        if value < 1e-6:
+            return f"{value * 1e9:.0f}ns"
+        if value < 1e-3:
+            return f"{value * 1e6:.1f}us"
+        if value < 1.0:
+            return f"{value * 1e3:.1f}ms"
+        return f"{value:.2f}s"
+    if unit == "B":
+        if value < 1024:
+            return f"{value:.0f}B"
+        if value < 1024**2:
+            return f"{value / 1024:.1f}KB"
+        return f"{value / 1024**2:.1f}MB"
+    return f"{value:.3g}{unit}"

@@ -1,0 +1,103 @@
+"""ASCII reporting for the experiment harness.
+
+Reports are plain monospace tables (the paper's tables are small) with
+optional notes; values carry units explicitly so series at different
+magnitudes (μs at a source, ms at the querier, KB on the wire) stay
+readable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ExperimentReport",
+    "render_report",
+    "format_seconds",
+    "format_bytes",
+    "format_ratio",
+]
+
+
+def format_seconds(seconds: float | None) -> str:
+    """Human scale: ns / μs / ms / s."""
+    if seconds is None:
+        return "-"
+    if seconds == 0:
+        return "0"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.2f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.2f} s"
+
+
+def format_bytes(size: float | None) -> str:
+    if size is None:
+        return "-"
+    if size < 1024:
+        return f"{size:.0f} B"
+    if size < 1024 * 1024:
+        return f"{size / 1024:.2f} KB"
+    return f"{size / (1024 * 1024):.2f} MB"
+
+
+def format_ratio(ours: float | None, reference: float | None) -> str:
+    """``ours / reference`` — how our measurement relates to the paper's."""
+    if not ours or not reference:
+        return "-"
+    return f"{ours / reference:.2f}x"
+
+
+@dataclass
+class ExperimentReport:
+    """One table/figure's regenerated data."""
+
+    experiment_id: str
+    title: str
+    parameters: dict[str, object] = field(default_factory=dict)
+    columns: list[str] = field(default_factory=list)
+    #: Rows of pre-formatted cells (first cell is the row label).
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    #: Machine-readable payload for tests and EXPERIMENTS.md generation.
+    data: dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append([str(c) for c in cells])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+
+def _column_widths(columns: Sequence[str], rows: Sequence[Sequence[str]]) -> list[int]:
+    widths = [len(c) for c in columns]
+    for row in rows:
+        for i, cell in enumerate(row):
+            if i >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[i] = max(widths[i], len(cell))
+    return widths
+
+
+def render_report(report: ExperimentReport) -> str:
+    """Render a report as a monospace block."""
+    lines: list[str] = []
+    lines.append(f"== {report.experiment_id}: {report.title} ==")
+    if report.parameters:
+        params = ", ".join(f"{k}={v}" for k, v in report.parameters.items())
+        lines.append(f"   parameters: {params}")
+    widths = _column_widths(report.columns, report.rows)
+    header = " | ".join(c.ljust(w) for c, w in zip(report.columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in report.rows:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(row)]
+        lines.append(" | ".join(padded))
+    for note in report.notes:
+        lines.append(f"   note: {note}")
+    return "\n".join(lines)

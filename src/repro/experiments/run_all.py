@@ -1,0 +1,84 @@
+"""Regenerate every paper table and figure in one run.
+
+::
+
+    python -m repro.experiments.run_all            # paper-scale (minutes)
+    python -m repro.experiments.run_all --quick    # reduced J/N (seconds)
+
+Prints every report and, with ``--output``, also writes the combined
+text to a file (the EXPERIMENTS.md numbers come from such a run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import fig4, fig5, fig6a, fig6b, table2, table3, table5
+from repro.experiments.reporting import ExperimentReport, render_report
+
+__all__ = ["run_all", "main"]
+
+#: Reduced parameters for smoke runs; labels stay in each report.
+QUICK_OVERRIDES = {
+    "table5": {"num_sources": 256, "num_sketches": 40, "epochs": 5},
+    "fig4": {"num_sketches": 40, "secoa_epochs": 1, "fast_epochs": 5, "fast_sources": 2},
+    "fig5": {"num_sketches": 40, "secoa_epochs": 1, "fast_epochs": 5},
+    "fig6a": {"source_counts": (64, 256, 1024), "num_sketches": 40},
+    "fig6b": {"scales": (1, 100, 10000), "num_sketches": 40},
+}
+
+
+def run_all(*, quick: bool = False, extensions: bool = False) -> list[ExperimentReport]:
+    """Execute every experiment; returns the reports in paper order.
+
+    With *extensions* the beyond-the-paper drivers (commit-and-attest
+    scalability, radio energy) run after the paper artifacts.
+    """
+    overrides = QUICK_OVERRIDES if quick else {}
+    plan = [
+        ("table2", table2.run, {}),
+        ("table3", table3.run, {}),
+        ("fig4", fig4.run, overrides.get("fig4", {})),
+        ("fig5", fig5.run, overrides.get("fig5", {})),
+        ("fig6a", fig6a.run, overrides.get("fig6a", {})),
+        ("fig6b", fig6b.run, overrides.get("fig6b", {})),
+        ("table5", table5.run, overrides.get("table5", {})),
+    ]
+    if extensions:
+        from repro.experiments import extension_energy, extension_scalability
+
+        plan.append(("extension_scalability", extension_scalability.run,
+                     {"source_counts": (64, 256, 1024)} if quick else {}))
+        plan.append(("extension_energy", extension_energy.run,
+                     {"num_sources": 64, "num_sketches": 8} if quick else {}))
+    reports = []
+    for name, runner, kwargs in plan:
+        start = time.perf_counter()
+        report = runner(**kwargs)
+        elapsed = time.perf_counter() - start
+        report.add_note(f"driver wall time: {elapsed:.1f} s")
+        reports.append(report)
+    return reports
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced J/N smoke profile")
+    parser.add_argument("--extensions", action="store_true",
+                        help="also run the beyond-the-paper extension drivers")
+    parser.add_argument("--output", type=str, default=None, help="also write reports to a file")
+    args = parser.parse_args(argv)
+
+    reports = run_all(quick=args.quick, extensions=args.extensions)
+    text = "\n\n".join(render_report(r) for r in reports)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\nwritten to {args.output}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Table III — cost models evaluated at typical values.
+
+Two evaluations are reported:
+
+* the models at the **paper's** Table II constants — this must (and
+  does, within the paper's own rounding/inconsistencies) reproduce the
+  printed Table III, validating our transcription of Eqs. 1–11;
+* the models at **this host's** measured constants — the reference
+  series the figure drivers compare their measurements against.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.constants import PAPER_CONSTANTS
+from repro.costmodel.microbench import measure_constants
+from repro.costmodel.tables import DEFAULTS, evaluate_table3
+from repro.experiments.paper_data import TABLE3_REPORTED
+from repro.experiments.reporting import (
+    ExperimentReport,
+    format_bytes,
+    format_seconds,
+    render_report,
+)
+
+__all__ = ["run", "main"]
+
+
+def run() -> ExperimentReport:
+    """Evaluate Eqs. 1-11 at paper and host constants vs printed Table III."""
+    host_constants = measure_constants()
+    at_paper = evaluate_table3(PAPER_CONSTANTS)
+    at_host = evaluate_table3(host_constants)
+
+    report = ExperimentReport(
+        experiment_id="Table III",
+        title="Costs using typical values (Eqs. 1-11)",
+        parameters=dict(DEFAULTS),
+        columns=[
+            "metric",
+            "scheme",
+            "paper reported",
+            "model @ paper constants",
+            "model @ host constants",
+        ],
+    )
+    relative_errors: dict[str, float] = {}
+    for row_paper, row_host in zip(at_paper.rows, at_host.rows):
+        metric = row_paper.metric
+        reported = TABLE3_REPORTED[_reported_key(metric)]
+        is_comm = metric.startswith("Commun")
+        fmt = format_bytes if is_comm else format_seconds
+        for scheme, attr in (
+            ("CMT", "cmt"),
+            ("SECOA_S min", "secoa_min"),
+            ("SECOA_S max", "secoa_max"),
+            ("SIES", "sies"),
+        ):
+            model_paper = getattr(row_paper, attr)
+            model_host = getattr(row_host, attr)
+            reported_value = reported[attr]
+            report.add_row(metric, scheme, fmt(reported_value), fmt(model_paper), fmt(model_host))
+            if reported_value:
+                relative_errors[f"{metric}/{attr}"] = (
+                    abs(model_paper - reported_value) / reported_value
+                )
+    report.add_note(
+        "paper-reported CMT source cost (1.17us) uses C_HM256 although Eq. 1 "
+        "specifies C_HM1 (0.61us); see repro.experiments.paper_data"
+    )
+    report.data = {
+        "at_paper": at_paper,
+        "at_host": at_host,
+        "relative_errors": relative_errors,
+        "host_constants": host_constants,
+    }
+    return report
+
+
+def _reported_key(metric: str) -> str:
+    return metric.replace(" at S", " at S").strip()
+
+
+def main() -> None:
+    """Print the regenerated report (and chart, for figures)."""
+    print(render_report(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""μTesla authenticated broadcast (SPINS, Perrig et al. [20]).
+
+SIES uses μTesla for the setup-phase dissemination of the continuous
+query: "Whenever Q issues a new query, it simply broadcasts it with
+μTesla in the network" (paper Section IV-A), and Theorem 3 delegates
+querier-impersonation resistance entirely to it.
+
+Protocol sketch (simulated here with explicit interval indices instead
+of real clocks):
+
+1. The broadcaster builds a one-way key chain ``K_n → … → K_0`` and
+   distributes the commitment ``K_0`` authentically at deployment.
+2. A packet sent in interval ``i`` is MACed with the *undisclosed*
+   chain key ``K_i``.
+3. ``K_i`` is disclosed ``delay`` intervals later.  Receivers accept a
+   packet only if it arrived while its key was provably undisclosed
+   (the *security condition*), buffer it, and verify the MAC once the
+   key arrives — after authenticating the key itself against the chain.
+
+An adversary without the chain root cannot produce a valid MAC for a
+future interval, and disclosed keys are useless because receivers
+refuse packets that arrive at or after their key's disclosure time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hmac import hmac_digest
+from repro.crypto.keychain import OneWayKeyChain, verify_disclosed_key
+from repro.errors import AuthenticationError, ParameterError
+from repro.network.messages import BroadcastPacket
+from repro.utils.bytesops import constant_time_eq
+from repro.utils.validation import check_nonnegative_int, check_positive_int
+
+__all__ = ["MuTeslaBroadcaster", "MuTeslaReceiver"]
+
+_MAC_ALGORITHM = "sha256"
+
+
+class MuTeslaBroadcaster:
+    """The querier's side: MACs packets with future chain keys."""
+
+    def __init__(self, chain_root: bytes, chain_length: int, *, disclosure_delay: int = 2) -> None:
+        check_positive_int("chain_length", chain_length)
+        check_positive_int("disclosure_delay", disclosure_delay)
+        self._chain = OneWayKeyChain(chain_root, chain_length)
+        self.disclosure_delay = disclosure_delay
+
+    @property
+    def commitment(self) -> bytes:
+        """``K_0`` — to be pre-installed authentically on every sensor."""
+        return self._chain.commitment
+
+    @property
+    def chain_length(self) -> int:
+        return self._chain.length
+
+    def broadcast(self, payload: bytes, interval: int) -> BroadcastPacket:
+        """MAC *payload* with the (still secret) key of *interval*."""
+        check_positive_int("interval", interval)
+        key = self._chain.key(interval)
+        mac = hmac_digest(key, payload, _MAC_ALGORITHM)
+        return BroadcastPacket(interval=interval, payload=payload, mac=mac)
+
+    def disclose(self, interval: int) -> bytes:
+        """Publish the chain key of *interval* (sent ``delay`` intervals later)."""
+        return self._chain.key(interval)
+
+
+@dataclass
+class _Buffered:
+    packet: BroadcastPacket
+    received_at: int
+
+
+class MuTeslaReceiver:
+    """A sensor's side: buffers packets, authenticates on key disclosure."""
+
+    def __init__(self, commitment: bytes, *, disclosure_delay: int = 2) -> None:
+        if not commitment:
+            raise ParameterError("receiver needs the authentic chain commitment")
+        check_positive_int("disclosure_delay", disclosure_delay)
+        self._trusted_key = commitment
+        self._trusted_index = 0
+        self.disclosure_delay = disclosure_delay
+        self._buffer: dict[int, list[_Buffered]] = {}
+        self.authenticated: list[bytes] = []
+        #: Packets discarded for violating the security condition.
+        self.rejected_late: int = 0
+
+    def receive(self, packet: BroadcastPacket, *, current_interval: int) -> bool:
+        """Buffer *packet* if its key cannot have been disclosed yet.
+
+        Returns False (and drops the packet) when the security condition
+        fails — i.e. the packet arrived at or after the interval where
+        its MAC key became public, so anyone could have forged it.
+        """
+        check_nonnegative_int("current_interval", current_interval)
+        disclosure_time = packet.interval + self.disclosure_delay
+        if current_interval >= disclosure_time:
+            self.rejected_late += 1
+            return False
+        self._buffer.setdefault(packet.interval, []).append(
+            _Buffered(packet=packet, received_at=current_interval)
+        )
+        return True
+
+    def on_key_disclosed(self, interval: int, key: bytes) -> list[bytes]:
+        """Authenticate the key, then every buffered packet of *interval*.
+
+        Returns the payloads that verified.  Raises
+        :class:`AuthenticationError` if the disclosed key itself fails
+        chain verification (an active forgery, not a benign loss).
+        """
+        if interval <= self._trusted_index:
+            raise AuthenticationError(
+                f"key for interval {interval} already disclosed or out of order"
+            )
+        if not verify_disclosed_key(
+            key, interval, self._trusted_key, self._trusted_index, algorithm=_MAC_ALGORITHM
+        ):
+            raise AuthenticationError(f"disclosed key for interval {interval} fails chain check")
+        # Advance the trust anchor so future verifications are O(gap).
+        self._trusted_key = key
+        self._trusted_index = interval
+
+        verified: list[bytes] = []
+        for buffered in self._buffer.pop(interval, []):
+            expected = hmac_digest(key, buffered.packet.payload, _MAC_ALGORITHM)
+            if constant_time_eq(expected, buffered.packet.mac):
+                verified.append(buffered.packet.payload)
+                self.authenticated.append(buffered.packet.payload)
+        return verified
+
+    def pending_intervals(self) -> tuple[int, ...]:
+        return tuple(sorted(self._buffer))

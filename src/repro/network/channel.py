@@ -1,0 +1,100 @@
+"""The (insecure) wireless channel with adversary hooks.
+
+Every PSR hop goes through a :class:`Channel`, which
+
+* classifies the edge (source→aggregator, aggregator→aggregator,
+  aggregator→querier) and accumulates byte counters per class — the
+  exact quantities of the paper's Table V and communication analysis;
+* passes the message through registered *interceptors* in order.  An
+  interceptor models an adversary (or a lossy link): it may return the
+  message unchanged, a modified message, or ``None`` to drop it.
+
+The channel is where the threat model lives: the paper's adversary "may
+… infiltrate the wireless channel", so attacks in :mod:`repro.attacks`
+are implemented purely as interceptors — protocols cannot tell the
+difference, exactly as in a real deployment.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.network.messages import DataMessage
+
+__all__ = ["EdgeClass", "Channel", "Interceptor", "TrafficCounters"]
+
+
+class EdgeClass(enum.Enum):
+    """The three edge classes whose traffic the paper reports."""
+
+    SOURCE_TO_AGGREGATOR = "S-A"
+    AGGREGATOR_TO_AGGREGATOR = "A-A"
+    AGGREGATOR_TO_QUERIER = "A-Q"
+
+
+#: An interceptor sees each message and may modify or drop it.
+Interceptor = Callable[[DataMessage, EdgeClass], DataMessage | None]
+
+
+@dataclass
+class TrafficCounters:
+    """Bytes and message counts accumulated per edge class."""
+
+    bytes_by_class: dict[EdgeClass, int] = field(default_factory=dict)
+    messages_by_class: dict[EdgeClass, int] = field(default_factory=dict)
+
+    def record(self, edge_class: EdgeClass, size: int) -> None:
+        self.bytes_by_class[edge_class] = self.bytes_by_class.get(edge_class, 0) + size
+        self.messages_by_class[edge_class] = self.messages_by_class.get(edge_class, 0) + 1
+
+    def bytes_for(self, edge_class: EdgeClass) -> int:
+        return self.bytes_by_class.get(edge_class, 0)
+
+    def messages_for(self, edge_class: EdgeClass) -> int:
+        return self.messages_by_class.get(edge_class, 0)
+
+    def mean_bytes_per_message(self, edge_class: EdgeClass) -> float:
+        count = self.messages_by_class.get(edge_class, 0)
+        return self.bytes_by_class.get(edge_class, 0) / count if count else 0.0
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_class.values())
+
+    def reset(self) -> None:
+        self.bytes_by_class.clear()
+        self.messages_by_class.clear()
+
+
+class Channel:
+    """Delivers :class:`DataMessage`s, counting traffic and applying attacks."""
+
+    def __init__(self) -> None:
+        self.counters = TrafficCounters()
+        self._interceptors: list[Interceptor] = []
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        """Attach an adversary/fault model; order of attachment = order applied."""
+        self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor: Interceptor) -> None:
+        self._interceptors.remove(interceptor)
+
+    def clear_interceptors(self) -> None:
+        self._interceptors.clear()
+
+    def transmit(self, message: DataMessage, edge_class: EdgeClass) -> DataMessage | None:
+        """Send *message* over an *edge_class* link.
+
+        Traffic is accounted for the legitimate transmission (the sender
+        spent that energy regardless of what the adversary later does).
+        Returns the possibly-modified message, or ``None`` if dropped.
+        """
+        self.counters.record(edge_class, message.wire_size())
+        current: DataMessage | None = message
+        for interceptor in self._interceptors:
+            if current is None:
+                return None
+            current = interceptor(current, edge_class)
+        return current

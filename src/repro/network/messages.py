@@ -1,0 +1,56 @@
+"""Wire messages exchanged in the simulated network.
+
+Two message kinds exist:
+
+* :class:`DataMessage` — a PSR travelling up the aggregation tree
+  during an epoch.  Its accounted size is the PSR payload size — the
+  quantity the paper's Table V reports (it deliberately excludes
+  MAC-layer headers, which are identical across schemes).
+* :class:`BroadcastPacket` — a μTesla-authenticated packet travelling
+  down the tree during query dissemination (setup phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.protocols.base import PartialStateRecord
+
+__all__ = ["DataMessage", "BroadcastPacket"]
+
+
+@dataclass
+class DataMessage:
+    """A PSR in flight from *sender* to *receiver* at *epoch*."""
+
+    sender: int
+    receiver: int
+    epoch: int
+    psr: PartialStateRecord
+
+    def wire_size(self) -> int:
+        """Payload bytes on the radio — the Table V quantity."""
+        return self.psr.wire_size()
+
+
+@dataclass
+class BroadcastPacket:
+    """One μTesla packet: payload + MAC now, key disclosed later.
+
+    ``disclosed_key`` is ``None`` while the packet is in its silence
+    window and is filled in by the broadcaster's later disclosure
+    packet; receivers buffer the packet until then.
+    """
+
+    interval: int
+    payload: bytes
+    mac: bytes
+    disclosed_key: bytes | None = None
+    #: Free-form metadata (e.g. the query spec carried by the packet).
+    headers: dict[str, object] = field(default_factory=dict)
+
+    def wire_size(self) -> int:
+        size = len(self.payload) + len(self.mac) + 4  # 4-byte interval index
+        if self.disclosed_key is not None:
+            size += len(self.disclosed_key)
+        return size

@@ -1,0 +1,143 @@
+"""Structured event tracing for simulations (observability).
+
+A :class:`SimulationTracer` attaches to a
+:class:`~repro.network.simulator.NetworkSimulator`'s channel and records
+every message hop as a structured event; the simulator's metrics say
+*how much* happened, the trace says *what* happened, in order — the
+difference between a dashboard and a debugger.  Traces serialize to
+JSON-lines for offline analysis and diffing between runs.
+
+Events carry message *metadata* only (sender, receiver, epoch, size,
+PSR type), never key material, and ciphertext values only when
+explicitly enabled — a trace file must be safe to share.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO
+
+from repro.network.channel import Channel, EdgeClass
+from repro.network.messages import DataMessage
+
+__all__ = ["TraceEvent", "SimulationTracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed message hop."""
+
+    sequence: int
+    epoch: int
+    edge: str
+    sender: int
+    receiver: int
+    psr_type: str
+    wire_bytes: int
+    ciphertext: int | None = None
+
+    def to_json(self) -> str:
+        payload = {
+            "seq": self.sequence,
+            "epoch": self.epoch,
+            "edge": self.edge,
+            "from": self.sender,
+            "to": self.receiver,
+            "psr": self.psr_type,
+            "bytes": self.wire_bytes,
+        }
+        if self.ciphertext is not None:
+            payload["ciphertext"] = str(self.ciphertext)  # big ints as strings
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        data = json.loads(line)
+        return cls(
+            sequence=data["seq"],
+            epoch=data["epoch"],
+            edge=data["edge"],
+            sender=data["from"],
+            receiver=data["to"],
+            psr_type=data["psr"],
+            wire_bytes=data["bytes"],
+            ciphertext=int(data["ciphertext"]) if "ciphertext" in data else None,
+        )
+
+
+@dataclass
+class SimulationTracer:
+    """Records every hop crossing a channel.
+
+    Attach before running::
+
+        tracer = SimulationTracer()
+        tracer.attach(simulator.channel)
+        simulator.run()
+        tracer.write_jsonl(open("trace.jsonl", "w"))
+    """
+
+    include_ciphertexts: bool = False
+    events: list[TraceEvent] = field(default_factory=list)
+    _sequence: int = 0
+
+    def attach(self, channel: Channel) -> None:
+        """Register as a (non-modifying) interceptor on *channel*."""
+        channel.add_interceptor(self._observe)
+
+    def _observe(self, message: DataMessage, edge: EdgeClass) -> DataMessage:
+        ciphertext = None
+        if self.include_ciphertexts:
+            ciphertext = getattr(message.psr, "ciphertext", None)
+        self.events.append(
+            TraceEvent(
+                sequence=self._sequence,
+                epoch=message.epoch,
+                edge=edge.value,
+                sender=message.sender,
+                receiver=message.receiver,
+                psr_type=type(message.psr).__name__,
+                wire_bytes=message.wire_size(),
+                ciphertext=ciphertext,
+            )
+        )
+        self._sequence += 1
+        return message
+
+    # ------------------------------------------------------------------
+    # Queries over the trace
+    # ------------------------------------------------------------------
+
+    def epochs(self) -> list[int]:
+        return sorted({e.epoch for e in self.events})
+
+    def events_for_epoch(self, epoch: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.epoch == epoch]
+
+    def hops_through(self, node_id: int) -> list[TraceEvent]:
+        """Everything a given node sent or received — per-node debugging."""
+        return [e for e in self.events if node_id in (e.sender, e.receiver)]
+
+    def bytes_by_edge(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for e in self.events:
+            totals[e.edge] = totals.get(e.edge, 0) + e.wire_bytes
+        return totals
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def write_jsonl(self, stream: IO[str]) -> int:
+        """Write one JSON object per event; returns the event count."""
+        for event in self.events:
+            stream.write(event.to_json() + "\n")
+        return len(self.events)
+
+    @classmethod
+    def read_jsonl(cls, stream: IO[str]) -> "SimulationTracer":
+        tracer = cls()
+        tracer.events = [TraceEvent.from_json(line) for line in stream if line.strip()]
+        tracer._sequence = len(tracer.events)
+        return tracer

@@ -1,0 +1,34 @@
+"""Common protocol abstractions shared by SIES and the baselines.
+
+Every scheme (SIES, CMT, SECOA_S, …) is expressed as a
+:class:`~repro.protocols.base.SecureAggregationProtocol` that
+manufactures the three per-party roles of the paper's architecture
+(Section III-A): *source* (initialization phase), *aggregator* (merging
+phase) and *querier* (evaluation phase).  The network simulator is
+written once against these interfaces, so protocols are interchangeable
+in every experiment.
+"""
+
+from repro.protocols.base import (
+    AggregatorRole,
+    EvaluationResult,
+    OpCounter,
+    PartialStateRecord,
+    QuerierRole,
+    SecureAggregationProtocol,
+    SourceRole,
+)
+from repro.protocols.registry import available_protocols, create_protocol, register_protocol
+
+__all__ = [
+    "PartialStateRecord",
+    "EvaluationResult",
+    "OpCounter",
+    "SourceRole",
+    "AggregatorRole",
+    "QuerierRole",
+    "SecureAggregationProtocol",
+    "register_protocol",
+    "create_protocol",
+    "available_protocols",
+]

@@ -1,0 +1,217 @@
+"""Abstract interfaces for secure in-network aggregation protocols.
+
+The paper's aggregation process (Section III-A) has three phases:
+
+* **Initialization** ``I`` at each source: raw value → partial state
+  record (PSR);
+* **Merging** ``M`` at each aggregator: children's PSRs → one PSR;
+* **Evaluation** ``E`` at the querier: final PSR → verified result.
+
+This module fixes those phase signatures as abstract roles plus a
+factory (:class:`SecureAggregationProtocol`) that performs the setup
+phase (key generation and distribution) and hands out role objects.
+It also defines :class:`OpCounter`, the operation-count ledger that
+backs the analytic cost models of Section V.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "PartialStateRecord",
+    "EvaluationResult",
+    "OpCounter",
+    "SourceRole",
+    "AggregatorRole",
+    "QuerierRole",
+    "SecureAggregationProtocol",
+]
+
+
+class PartialStateRecord(ABC):
+    """A protocol-specific PSR; the network layer only needs its size.
+
+    Concrete PSRs must also expose an ``epoch`` attribute: it models the
+    plaintext epoch header a real packet would carry.  Being a header it
+    is *attacker-controlled* — protocols must not trust it for security
+    (SIES derives freshness from the shares instead, Theorem 4).
+    """
+
+    #: Epoch header (set by subclasses; plaintext metadata, untrusted).
+    epoch: int
+
+    @abstractmethod
+    def wire_size(self) -> int:
+        """Serialized size in bytes — drives Table V / communication cost."""
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of the querier's evaluation phase.
+
+    Attributes
+    ----------
+    value:
+        The (integer-domain) aggregate reported to the application.
+    epoch:
+        Epoch the result belongs to.
+    verified:
+        True when the protocol's integrity check passed.  Protocols
+        without integrity (CMT) always report False.
+    exact:
+        True for exact schemes (SIES, CMT); False for sketch-based
+        approximations (SECOA_S), whose ``value`` is an estimate.
+    extras:
+        Protocol-specific diagnostics (e.g. SECOA_S's mean sketch value).
+    """
+
+    value: int
+    epoch: int
+    verified: bool
+    exact: bool
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+# Operation names recognized by the cost models (Section V / Table II).
+OP_NAMES = (
+    "hm1",        # HMAC-SHA1 evaluation (C_HM1)
+    "hm256",      # HMAC-SHA256 evaluation (C_HM256)
+    "add20",      # 20-byte modular addition (C_A20)
+    "add32",      # 32-byte modular addition (C_A32)
+    "mul32",      # 32-byte modular multiplication (C_M32)
+    "mul128",     # 128-byte modular multiplication (C_M128)
+    "inv32",      # 32-byte modular inverse (C_MI32)
+    "rsa",        # RSA encryption (C_RSA)
+    "sketch",     # one sketch insertion (C_sk)
+)
+
+
+@dataclass
+class OpCounter:
+    """Ledger of primitive-operation counts for one party's work.
+
+    Role implementations increment this as they compute, so every
+    experiment can report a *modeled* cost (counts × measured Table II
+    constants) next to the measured wall-clock time, mirroring how the
+    paper validates its cost models.
+    """
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, op: str, count: int = 1) -> None:
+        if op not in OP_NAMES:
+            raise ParameterError(f"unknown operation {op!r}; expected one of {OP_NAMES}")
+        if count < 0:
+            raise ParameterError(f"operation count must be non-negative, got {count}")
+        self.counts[op] = self.counts.get(op, 0) + count
+
+    def get(self, op: str) -> int:
+        return self.counts.get(op, 0)
+
+    def merge(self, other: "OpCounter") -> None:
+        for op, count in other.counts.items():
+            self.counts[op] = self.counts.get(op, 0) + count
+
+    def reset(self) -> None:
+        self.counts.clear()
+
+    def copy(self) -> "OpCounter":
+        return OpCounter(counts=dict(self.counts))
+
+
+class SourceRole(ABC):
+    """Initialization phase ``I`` — runs on a source sensor."""
+
+    #: Identifier of the source within the protocol instance.
+    source_id: int
+
+    @abstractmethod
+    def initialize(self, epoch: int, value: int) -> PartialStateRecord:
+        """Produce the PSR for this source's *value* at *epoch*."""
+
+
+class AggregatorRole(ABC):
+    """Merging phase ``M`` — runs on an aggregator sensor."""
+
+    @abstractmethod
+    def merge(self, epoch: int, psrs: Sequence[PartialStateRecord]) -> PartialStateRecord:
+        """Fuse the children's PSRs into a single PSR."""
+
+    def finalize_for_querier(self, psr: PartialStateRecord) -> PartialStateRecord:
+        """Extra work the *sink* performs before the hop to the querier.
+
+        Identity for most schemes; SECOA's root aggregator folds SEALs
+        that sit at the same chain position here, shrinking the A–Q
+        message (paper Section II-D and Eq. 11).
+        """
+        return psr
+
+
+class QuerierRole(ABC):
+    """Evaluation phase ``E`` — runs at the querier."""
+
+    @abstractmethod
+    def evaluate(
+        self,
+        epoch: int,
+        psr: PartialStateRecord,
+        *,
+        reporting_sources: Sequence[int] | None = None,
+    ) -> EvaluationResult:
+        """Extract and verify the aggregate from the final PSR.
+
+        ``reporting_sources`` lists the source ids that contributed this
+        epoch (paper Section IV-B, node failures); ``None`` means all.
+        Raises a :class:`repro.errors.SecurityError` subclass when a
+        protocol with integrity detects tampering or replay.
+        """
+
+
+class SecureAggregationProtocol(ABC):
+    """Factory for the three roles plus the setup phase.
+
+    A protocol instance owns all key material (it plays the querier's
+    role from the setup phase of the paper: generating keys and manually
+    registering them to the parties).  Role objects hold only the
+    material their party would legitimately possess, which the attack
+    scenarios rely on.
+    """
+
+    #: Short machine name, e.g. ``"sies"``, ``"cmt"``, ``"secoa_s"``.
+    name: str = "abstract"
+    #: Whether the scheme answers SUM exactly.
+    exact: bool = True
+    #: Security properties, for reporting.
+    provides_confidentiality: bool = False
+    provides_integrity: bool = False
+
+    def __init__(self, num_sources: int) -> None:
+        if num_sources <= 0:
+            raise ParameterError(f"num_sources must be positive, got {num_sources}")
+        self.num_sources = num_sources
+
+    @abstractmethod
+    def create_source(self, source_id: int, *, ops: OpCounter | None = None) -> SourceRole:
+        """Role for source ``source_id`` (0-based, < ``num_sources``)."""
+
+    @abstractmethod
+    def create_aggregator(self, *, ops: OpCounter | None = None) -> AggregatorRole:
+        """Role for an aggregator (aggregators are stateless and keyless
+        in SIES/CMT; SECOA aggregators hold only public material)."""
+
+    @abstractmethod
+    def create_querier(self, *, ops: OpCounter | None = None) -> QuerierRole:
+        """Role for the querier, holding all verification material."""
+
+    def _check_source_id(self, source_id: int) -> int:
+        if not 0 <= source_id < self.num_sources:
+            raise ParameterError(
+                f"source_id must be in [0, {self.num_sources}), got {source_id}"
+            )
+        return source_id

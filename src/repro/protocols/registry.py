@@ -1,0 +1,54 @@
+"""Name-based protocol registry.
+
+Experiments select protocols by name (``"sies"``, ``"cmt"``,
+``"secoa_s"``), so sweep drivers stay declarative.  Protocol modules
+register a factory at import time; :func:`create_protocol` imports the
+built-ins lazily to avoid circular imports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import SecureAggregationProtocol
+
+__all__ = ["register_protocol", "create_protocol", "available_protocols"]
+
+_REGISTRY: dict[str, Callable[..., SecureAggregationProtocol]] = {}
+
+
+def register_protocol(name: str, factory: Callable[..., SecureAggregationProtocol]) -> None:
+    """Register *factory* under *name* (idempotent re-registration allowed)."""
+    _REGISTRY[name] = factory
+
+
+def _ensure_builtins_loaded() -> None:
+    # Importing these modules triggers their register_protocol calls.
+    import repro.baselines.cmt  # noqa: F401
+    import repro.baselines.secoa.secoa_sum  # noqa: F401
+    import repro.core.protocol  # noqa: F401
+
+
+def available_protocols() -> tuple[str, ...]:
+    """Names accepted by :func:`create_protocol`."""
+    _ensure_builtins_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+def create_protocol(name: str, num_sources: int, **kwargs: Any) -> SecureAggregationProtocol:
+    """Instantiate the protocol registered under *name*.
+
+    Keyword arguments are forwarded to the protocol constructor (each
+    protocol documents its own: e.g. SIES takes ``value_bytes``, SECOA_S
+    takes ``num_sketches``).
+    """
+    _ensure_builtins_loaded()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+    return factory(num_sources, **kwargs)

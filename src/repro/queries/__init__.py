@@ -1,0 +1,33 @@
+"""The paper's query model (Section III-B) as a user-facing API.
+
+Queries follow the template::
+
+    SELECT SUM(attr) FROM Sensors WHERE pred EPOCH DURATION T
+
+COUNT reduces to SUM of predicate indicators; AVG = SUM/COUNT; VARIANCE
+and STDDEV combine SUM(v), SUM(v²) and COUNT — each reduction runs as
+its own secure SUM instance, exactly as the paper prescribes.
+:class:`~repro.queries.engine.ContinuousQuery` wires a query to a
+protocol, a topology and a dataset and yields verified per-epoch
+answers.
+"""
+
+from repro.queries.dissemination import QueryDisseminator, QueryListener
+from repro.queries.engine import ContinuousQuery, QueryAnswer
+from repro.queries.predicates import AlwaysTrue, Comparison, LogicalAnd, LogicalNot, LogicalOr, Predicate
+from repro.queries.query import AggregateKind, Query
+
+__all__ = [
+    "QueryDisseminator",
+    "QueryListener",
+    "AggregateKind",
+    "Query",
+    "Predicate",
+    "AlwaysTrue",
+    "Comparison",
+    "LogicalAnd",
+    "LogicalOr",
+    "LogicalNot",
+    "ContinuousQuery",
+    "QueryAnswer",
+]

@@ -1,0 +1,99 @@
+"""Authenticated query dissemination (paper Section IV-A, setup phase).
+
+"Whenever Q issues a new query, it simply broadcasts it with μTesla in
+the network, without re-establishing any keys."  This module wires the
+:class:`~repro.queries.query.Query` wire format to the μTesla
+implementation: the querier-side :class:`QueryDisseminator` MACs and
+later discloses; the source-side :class:`QueryListener` buffers,
+authenticates and *registers* queries, rejecting forgeries (Theorem 3).
+
+The interval clock is the epoch counter itself: a query broadcast in
+epoch ``e`` authenticates when the key for ``e`` is disclosed
+``delay`` epochs later, after which the sources start answering it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AuthenticationError, QueryError
+from repro.network.broadcast import MuTeslaBroadcaster, MuTeslaReceiver
+from repro.network.messages import BroadcastPacket
+from repro.queries.query import Query
+from repro.utils.validation import check_positive_int
+
+__all__ = ["QueryDisseminator", "QueryListener"]
+
+
+class QueryDisseminator:
+    """The querier's side: broadcast queries under the μTesla schedule."""
+
+    def __init__(self, chain_root: bytes, chain_length: int = 1024, *, disclosure_delay: int = 2) -> None:
+        check_positive_int("chain_length", chain_length)
+        self._broadcaster = MuTeslaBroadcaster(
+            chain_root, chain_length, disclosure_delay=disclosure_delay
+        )
+        self.disclosure_delay = disclosure_delay
+
+    @property
+    def commitment(self) -> bytes:
+        """Pre-installed authentically on every sensor at deployment."""
+        return self._broadcaster.commitment
+
+    def broadcast_query(self, query: Query, epoch: int) -> BroadcastPacket:
+        """MAC *query* with the (undisclosed) key of *epoch*."""
+        packet = self._broadcaster.broadcast(query.to_wire(), epoch)
+        packet.headers["kind"] = "query"
+        return packet
+
+    def disclose_key(self, epoch: int) -> bytes:
+        """Publish the chain key of *epoch* (``delay`` epochs later)."""
+        return self._broadcaster.disclose(epoch)
+
+
+@dataclass
+class QueryListener:
+    """A source's side: receive, authenticate, register queries."""
+
+    receiver: MuTeslaReceiver
+    #: Queries that passed authentication, in registration order.
+    registered: list[Query] = field(default_factory=list)
+    #: Packets that failed query parsing after authenticating (corrupt
+    #: payload from an *authentic* sender is a querier-side bug worth
+    #: surfacing, not hiding).
+    malformed: int = 0
+
+    @classmethod
+    def with_commitment(cls, commitment: bytes, *, disclosure_delay: int = 2) -> "QueryListener":
+        return cls(receiver=MuTeslaReceiver(commitment, disclosure_delay=disclosure_delay))
+
+    @property
+    def active_query(self) -> Query | None:
+        """The most recently registered query (the paper's long-running one)."""
+        return self.registered[-1] if self.registered else None
+
+    def receive(self, packet: BroadcastPacket, *, current_epoch: int) -> bool:
+        """Buffer a broadcast packet; False if the security condition failed."""
+        return self.receiver.receive(packet, current_interval=current_epoch)
+
+    def on_key_disclosed(self, epoch: int, key: bytes) -> list[Query]:
+        """Authenticate buffered packets of *epoch*; register their queries.
+
+        Raises :class:`AuthenticationError` if the disclosed key itself
+        is forged (an active attack, distinct from packet loss).
+        """
+        queries: list[Query] = []
+        for payload in self.receiver.on_key_disclosed(epoch, key):
+            try:
+                query = Query.from_wire(payload)
+            except QueryError:
+                self.malformed += 1
+                continue
+            self.registered.append(query)
+            queries.append(query)
+        return queries
+
+    def require_active_query(self) -> Query:
+        if not self.registered:
+            raise AuthenticationError("no authenticated query registered yet")
+        return self.registered[-1]

@@ -1,0 +1,94 @@
+"""Encoding arbitrary readings as the positive integers SIES aggregates.
+
+The paper (Section III-B): "we consider that all data values are
+positive integers (we can always encode other data types as positive
+integers via simple translation and scaling operations [8])."  This
+module makes that remark concrete and *sum-aware*:
+
+* scaling by 10^d keeps ``d`` decimal digits (the paper's domain
+  discipline);
+* translation by ``-minimum`` maps signed ranges (e.g. outdoor
+  temperatures in [-40, 50] °C) onto non-negative integers;
+* decoding a SUM of ``n`` encoded values must subtract the translation
+  ``n`` times — :meth:`ValueCodec.decode_sum` takes the contributor
+  count for exactly that reason, which is also why the codec pairs
+  naturally with a COUNT reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.utils.validation import check_nonnegative_int, check_positive_int
+
+__all__ = ["ValueCodec"]
+
+
+@dataclass(frozen=True)
+class ValueCodec:
+    """Affine encoder: ``encode(x) = round((x - minimum) * scale)``.
+
+    Parameters
+    ----------
+    minimum / maximum:
+        The declared value range; encoding outside it raises (a reading
+        beyond its sensor's specified range is a fault worth surfacing,
+        and silent clipping would corrupt SUMs).
+    decimals:
+        Retained decimal digits; ``scale = 10**decimals``.
+    """
+
+    minimum: float
+    maximum: float
+    decimals: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.minimum < self.maximum:
+            raise ParameterError(
+                f"need minimum < maximum, got [{self.minimum}, {self.maximum}]"
+            )
+        check_nonnegative_int("decimals", self.decimals)
+        if self.decimals > 9:
+            raise ParameterError("more than 9 decimal digits exceeds float precision")
+
+    @property
+    def scale(self) -> int:
+        return 10**self.decimals
+
+    @property
+    def max_encoded(self) -> int:
+        """Largest integer a single reading encodes to."""
+        return round((self.maximum - self.minimum) * self.scale)
+
+    def max_possible_sum(self, num_sources: int) -> int:
+        """Capacity bound to feed ``SIESParams.check_capacity``."""
+        check_positive_int("num_sources", num_sources)
+        return self.max_encoded * num_sources
+
+    def encode(self, value: float) -> int:
+        """Reading → non-negative integer."""
+        if not self.minimum <= value <= self.maximum:
+            raise ParameterError(
+                f"value {value} outside declared range [{self.minimum}, {self.maximum}]"
+            )
+        return round((value - self.minimum) * self.scale)
+
+    def decode(self, encoded: int) -> float:
+        """Inverse of :meth:`encode` for a single reading."""
+        check_nonnegative_int("encoded", encoded)
+        return encoded / self.scale + self.minimum
+
+    def decode_sum(self, encoded_sum: int, contributors: int) -> float:
+        """Decode a SUM of *contributors* encoded readings.
+
+        ``Σ encode(x_i) = (Σ x_i - n·minimum) · scale``, so the
+        translation must be added back once per contributor.
+        """
+        check_nonnegative_int("encoded_sum", encoded_sum)
+        check_positive_int("contributors", contributors)
+        return encoded_sum / self.scale + contributors * self.minimum
+
+    def decode_mean(self, encoded_sum: int, contributors: int) -> float:
+        """AVG in original units from an encoded SUM and a COUNT."""
+        return self.decode_sum(encoded_sum, contributors) / contributors

@@ -1,0 +1,212 @@
+"""Continuous-query execution: the paper's push model, end to end.
+
+:class:`ContinuousQuery` decomposes an aggregate query into the secure
+SUM reductions the paper prescribes (Section III-B), runs one protocol
+instance per reduction over a shared topology, and combines the
+per-epoch results:
+
+* ``SUM``       = Σ scaled(value)                    (1 instance)
+* ``COUNT``     = Σ [predicate holds]                (1 instance)
+* ``AVG``       = SUM / COUNT                        (2 instances)
+* ``VARIANCE``  = SUM(v²)/COUNT − (SUM(v)/COUNT)²    (3 instances)
+* ``STDDEV``    = sqrt(VARIANCE)
+* ``MAX``       — served by the SECOA_M baseline (additive schemes
+  cannot answer MAX; documented limitation).
+
+Each reduction has its own keys — compromising one instance must not
+leak another — and values are scaled integers per the paper's
+domain-scaling discipline (floats with fixed decimal precision).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.datasets.intel_lab import IntelLabSynthesizer
+from repro.errors import QueryError
+from repro.network.simulator import NetworkSimulator, SimulationConfig
+from repro.network.topology import AggregationTree, build_complete_tree
+from repro.protocols.registry import create_protocol
+from repro.queries.query import AggregateKind, Query
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_positive_int
+
+__all__ = ["QueryAnswer", "ContinuousQuery"]
+
+
+@dataclass
+class QueryAnswer:
+    """One epoch's combined, unit-converted answer."""
+
+    epoch: int
+    #: The aggregate in the attribute's original (float) units.
+    value: float | None
+    #: True when *every* underlying reduction passed verification.
+    verified: bool
+    #: False when any reduction is sketch-approximate.
+    exact: bool
+    #: Raw integer SUM results per reduction name.
+    components: dict[str, int] = field(default_factory=dict)
+    #: Security failure (exception class name) if any reduction was rejected.
+    security_failure: str | None = None
+
+
+class _ReductionWorkload:
+    """Maps a reduction name to the integer each source transmits."""
+
+    def __init__(
+        self,
+        reduction: str,
+        query: Query,
+        synthesizer: IntelLabSynthesizer,
+        scale: int,
+    ) -> None:
+        self.reduction = reduction
+        self._query = query
+        self._dataset = synthesizer
+        self._scale = scale
+
+    def __call__(self, source_id: int, epoch: int) -> int:
+        reading = self._dataset.reading(source_id, epoch)
+        satisfied = self._query.predicate.evaluate(
+            {self._query.attribute: reading.temperature_c}
+        )
+        if not satisfied:
+            return 0  # "If a source does not satisfy the WHERE predicate,
+            #            it simply transmits 0." (Section III-B)
+        if self.reduction == "indicator":
+            return 1
+        scaled = int(reading.temperature_c * self._scale)
+        if self.reduction == "value":
+            return scaled
+        if self.reduction == "square":
+            return scaled * scaled
+        raise QueryError(f"unknown reduction {self.reduction!r}")
+
+
+class ContinuousQuery:
+    """A registered long-running query over a simulated sensor network."""
+
+    def __init__(
+        self,
+        query: Query,
+        num_sources: int,
+        *,
+        protocol: str = "sies",
+        scale: int = 100,
+        fanout: int = 4,
+        seed: int = 0,
+        tree: AggregationTree | None = None,
+        synthesizer: IntelLabSynthesizer | None = None,
+        protocol_kwargs: dict[str, Any] | None = None,
+    ) -> None:
+        check_positive_int("num_sources", num_sources)
+        check_positive_int("scale", scale)
+        if query.aggregate is AggregateKind.MAX and protocol != "secoa_m":
+            raise QueryError(
+                "MAX queries require the 'secoa_m' protocol; additive schemes "
+                "(sies/cmt) only support SUM-derivable aggregates"
+            )
+        if query.aggregate is not AggregateKind.MAX and protocol == "secoa_m":
+            raise QueryError("'secoa_m' answers MAX only")
+        self.query = query
+        self.num_sources = num_sources
+        self.scale = scale
+        self.protocol_name = protocol
+        self._dataset = synthesizer or IntelLabSynthesizer(num_sources, seed=seed)
+        self.tree = tree or build_complete_tree(num_sources, fanout)
+        kwargs = dict(protocol_kwargs or {})
+
+        self._simulators: dict[str, NetworkSimulator] = {}
+        for reduction in query.reductions:
+            workload = _ReductionWorkload(reduction, query, self._dataset, scale)
+            reduction_kwargs = dict(kwargs)
+            if protocol == "sies" and "value_bytes" not in reduction_kwargs:
+                reduction_kwargs["value_bytes"] = self._sies_value_bytes(reduction)
+            instance = create_protocol(
+                protocol,
+                num_sources,
+                seed=derive_seed(seed, "query", reduction),
+                **reduction_kwargs,
+            )
+            self._simulators[reduction] = NetworkSimulator(
+                instance, self.tree, workload, SimulationConfig(num_epochs=1)
+            )
+
+    def _sies_value_bytes(self, reduction: str) -> int:
+        """Pick the SIES value-field width from the worst-case sum."""
+        per_source_max = {
+            "indicator": 1,
+            "value": int(self._dataset.high_c) * self.scale,
+            "square": (int(self._dataset.high_c) * self.scale) ** 2,
+        }[reduction]
+        return 4 if per_source_max * self.num_sources <= 0xFFFFFFFF else 8
+
+    @property
+    def simulators(self) -> dict[str, NetworkSimulator]:
+        """Per-reduction simulators (exposes channels for attack tests)."""
+        return self._simulators
+
+    # ------------------------------------------------------------------
+
+    def run_epoch(self, epoch: int) -> QueryAnswer:
+        """Execute one epoch across all reductions and combine."""
+        components: dict[str, int] = {}
+        verified = True
+        exact = True
+        failure: str | None = None
+        for reduction, simulator in self._simulators.items():
+            em = simulator.run_epoch(epoch)
+            if em.security_failure is not None:
+                failure = em.security_failure
+                verified = False
+                continue
+            assert em.result is not None
+            components[reduction] = em.result.value
+            verified = verified and em.result.verified
+            exact = exact and em.result.exact
+        if failure is not None:
+            return QueryAnswer(
+                epoch=epoch,
+                value=None,
+                verified=False,
+                exact=exact,
+                components=components,
+                security_failure=failure,
+            )
+        return QueryAnswer(
+            epoch=epoch,
+            value=self._combine(components),
+            verified=verified,
+            exact=exact,
+            components=components,
+        )
+
+    def run(self, num_epochs: int, *, start_epoch: int = 1) -> list[QueryAnswer]:
+        check_positive_int("num_epochs", num_epochs)
+        return [self.run_epoch(start_epoch + i) for i in range(num_epochs)]
+
+    # ------------------------------------------------------------------
+
+    def _combine(self, components: dict[str, int]) -> float | None:
+        kind = self.query.aggregate
+        scale = float(self.scale)
+        if kind in (AggregateKind.SUM, AggregateKind.MAX):
+            return components["value"] / scale
+        if kind is AggregateKind.COUNT:
+            return float(components["indicator"])
+        count = components["indicator"]
+        if count == 0:
+            return None  # no source matched the predicate this epoch
+        mean = components["value"] / count / scale
+        if kind is AggregateKind.AVG:
+            return mean
+        mean_square = components["square"] / count / (scale * scale)
+        variance = max(0.0, mean_square - mean * mean)
+        if kind is AggregateKind.VARIANCE:
+            return variance
+        if kind is AggregateKind.STDDEV:
+            return math.sqrt(variance)
+        raise QueryError(f"unsupported aggregate {kind}")

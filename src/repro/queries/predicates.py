@@ -1,0 +1,168 @@
+"""WHERE-clause predicates over sensor readings.
+
+A predicate evaluates over a reading mapping (attribute name → float)
+and serializes to a compact string so the querier can disseminate it in
+a μTesla broadcast.  Grammar (round-trippable by :func:`parse_predicate`)::
+
+    pred   := term ('|' term)*          # OR
+    term   := factor ('&' factor)*      # AND
+    factor := '!' factor | comparison | 'true'
+    comparison := attr op number        # op in <=, >=, <, >, ==, !=
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+__all__ = [
+    "Predicate",
+    "AlwaysTrue",
+    "Comparison",
+    "LogicalAnd",
+    "LogicalOr",
+    "LogicalNot",
+    "parse_predicate",
+]
+
+_OPS = {
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+class Predicate(ABC):
+    """Boolean condition on one sensor reading."""
+
+    @abstractmethod
+    def evaluate(self, reading: Mapping[str, float]) -> bool:
+        """True when the reading satisfies the condition."""
+
+    @abstractmethod
+    def serialize(self) -> str:
+        """Compact wire form for query dissemination."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return LogicalAnd(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return LogicalOr(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return LogicalNot(self)
+
+
+@dataclass(frozen=True)
+class AlwaysTrue(Predicate):
+    """The empty WHERE clause."""
+
+    def evaluate(self, reading: Mapping[str, float]) -> bool:
+        return True
+
+    def serialize(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``attr op constant``."""
+
+    attribute: str
+    op: str
+    constant: float
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise QueryError(f"unsupported comparison operator {self.op!r}")
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", self.attribute):
+            raise QueryError(f"invalid attribute name {self.attribute!r}")
+
+    def evaluate(self, reading: Mapping[str, float]) -> bool:
+        if self.attribute not in reading:
+            raise QueryError(f"reading has no attribute {self.attribute!r}")
+        return _OPS[self.op](reading[self.attribute], self.constant)
+
+    def serialize(self) -> str:
+        return f"{self.attribute}{self.op}{self.constant:g}"
+
+
+@dataclass(frozen=True)
+class LogicalAnd(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, reading: Mapping[str, float]) -> bool:
+        return self.left.evaluate(reading) and self.right.evaluate(reading)
+
+    def serialize(self) -> str:
+        return f"{self.left.serialize()}&{self.right.serialize()}"
+
+
+@dataclass(frozen=True)
+class LogicalOr(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, reading: Mapping[str, float]) -> bool:
+        return self.left.evaluate(reading) or self.right.evaluate(reading)
+
+    def serialize(self) -> str:
+        return f"{self.left.serialize()}|{self.right.serialize()}"
+
+
+@dataclass(frozen=True)
+class LogicalNot(Predicate):
+    inner: Predicate
+
+    def evaluate(self, reading: Mapping[str, float]) -> bool:
+        return not self.inner.evaluate(reading)
+
+    def serialize(self) -> str:
+        return f"!{self.inner.serialize()}"
+
+
+_COMPARISON_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)(<=|>=|==|!=|<|>)(-?\d+(?:\.\d+)?)$")
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Inverse of :meth:`Predicate.serialize`.
+
+    Precedence (loosest first): ``|``, ``&``, ``!``.  No parentheses —
+    the dissemination format is deliberately minimal, matching what a
+    sensor's query parser would implement.
+    """
+    text = text.strip()
+    if not text:
+        raise QueryError("empty predicate")
+
+    or_parts = text.split("|")
+    if len(or_parts) > 1:
+        result = parse_predicate(or_parts[0])
+        for part in or_parts[1:]:
+            result = LogicalOr(result, parse_predicate(part))
+        return result
+
+    and_parts = text.split("&")
+    if len(and_parts) > 1:
+        result = parse_predicate(and_parts[0])
+        for part in and_parts[1:]:
+            result = LogicalAnd(result, parse_predicate(part))
+        return result
+
+    if text.startswith("!"):
+        return LogicalNot(parse_predicate(text[1:]))
+    if text == "true":
+        return AlwaysTrue()
+    match = _COMPARISON_RE.fullmatch(text)
+    if not match:
+        raise QueryError(f"cannot parse predicate fragment {text!r}")
+    attribute, op, constant = match.groups()
+    return Comparison(attribute, op, float(constant))

@@ -1,0 +1,101 @@
+"""Query specifications (the paper's Section III-B template)."""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.queries.predicates import AlwaysTrue, Predicate, parse_predicate
+
+__all__ = ["AggregateKind", "Query"]
+
+
+class AggregateKind(enum.Enum):
+    """Aggregates the library answers.
+
+    SUM is native; COUNT/AVG/VARIANCE/STDDEV are the paper's
+    derivations over one or more secure SUM instances; MAX is served by
+    the SECOA_M baseline (SIES does not support MAX — a documented
+    limitation of additive schemes).
+    """
+
+    SUM = "SUM"
+    COUNT = "COUNT"
+    AVG = "AVG"
+    VARIANCE = "VARIANCE"
+    STDDEV = "STDDEV"
+    MAX = "MAX"
+
+
+#: Which SUM reductions each aggregate needs (see queries.engine).
+_REDUCTIONS: dict[AggregateKind, tuple[str, ...]] = {
+    AggregateKind.SUM: ("value",),
+    AggregateKind.COUNT: ("indicator",),
+    AggregateKind.AVG: ("value", "indicator"),
+    AggregateKind.VARIANCE: ("value", "square", "indicator"),
+    AggregateKind.STDDEV: ("value", "square", "indicator"),
+    AggregateKind.MAX: ("value",),
+}
+
+
+@dataclass(frozen=True)
+class Query:
+    """``SELECT <aggregate>(<attribute>) FROM Sensors WHERE <predicate>
+    EPOCH DURATION <epoch_duration_s>``."""
+
+    aggregate: AggregateKind
+    attribute: str = "temperature"
+    predicate: Predicate = field(default_factory=AlwaysTrue)
+    epoch_duration_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.epoch_duration_s <= 0:
+            raise QueryError(f"epoch duration must be positive, got {self.epoch_duration_s}")
+        if not self.attribute:
+            raise QueryError("attribute name must be non-empty")
+
+    @property
+    def reductions(self) -> tuple[str, ...]:
+        """The secure-SUM instances this aggregate decomposes into."""
+        return _REDUCTIONS[self.aggregate]
+
+    def sql(self) -> str:
+        """The human-readable template form from the paper."""
+        where = self.predicate.serialize()
+        clause = "" if where == "true" else f" WHERE {where}"
+        return (
+            f"SELECT {self.aggregate.value}({self.attribute}) FROM Sensors"
+            f"{clause} EPOCH DURATION {self.epoch_duration_s:g}"
+        )
+
+    # ------------------------------------------------------------------
+    # Wire form for μTesla dissemination
+    # ------------------------------------------------------------------
+
+    def to_wire(self) -> bytes:
+        """Compact JSON payload broadcast to the sources at setup."""
+        return json.dumps(
+            {
+                "agg": self.aggregate.value,
+                "attr": self.attribute,
+                "pred": self.predicate.serialize(),
+                "epoch_s": self.epoch_duration_s,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    @classmethod
+    def from_wire(cls, payload: bytes) -> "Query":
+        """Parse a disseminated query; raises :class:`QueryError` on junk."""
+        try:
+            data = json.loads(payload.decode("utf-8"))
+            return cls(
+                aggregate=AggregateKind(data["agg"]),
+                attribute=data["attr"],
+                predicate=parse_predicate(data["pred"]),
+                epoch_duration_s=float(data["epoch_s"]),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise QueryError(f"malformed query payload: {exc}") from exc

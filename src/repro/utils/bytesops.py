@@ -1,0 +1,70 @@
+"""Byte-string and big-integer conversion helpers.
+
+The whole library speaks big-endian, matching the network byte order a
+real sensor deployment would use on the wire and the way the paper lays
+out the SIES plaintext ``m_i,t`` (value in the most-significant bytes).
+"""
+
+from __future__ import annotations
+
+import hmac as _stdlib_hmac
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "bytes_to_int",
+    "int_to_bytes",
+    "int_byte_length",
+    "xor_bytes",
+    "constant_time_eq",
+]
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Interpret *data* as a big-endian unsigned integer."""
+    return int.from_bytes(data, "big")
+
+
+def int_to_bytes(value: int, length: int | None = None) -> bytes:
+    """Encode a non-negative integer big-endian.
+
+    When *length* is omitted the minimal number of bytes is used (one
+    byte for zero).  A :class:`ParameterError` is raised if *value* does
+    not fit in *length* bytes, rather than silently truncating — wire
+    framing bugs must never pass silently.
+    """
+    if value < 0:
+        raise ParameterError(f"cannot encode negative integer {value!r}")
+    if length is None:
+        length = max(1, (value.bit_length() + 7) // 8)
+    try:
+        return value.to_bytes(length, "big")
+    except OverflowError as exc:
+        raise ParameterError(
+            f"integer with {value.bit_length()} bits does not fit in {length} bytes"
+        ) from exc
+
+
+def int_byte_length(value: int) -> int:
+    """Number of bytes needed for the big-endian encoding of *value*."""
+    if value < 0:
+        raise ParameterError(f"negative integer {value!r} has no byte length")
+    return max(1, (value.bit_length() + 7) // 8)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings.
+
+    Used by SECOA's aggregate inflation certificates (XOR-combined
+    HMACs, Katz–Lindell aggregate MACs [28]).
+    """
+    if len(a) != len(b):
+        raise ParameterError(
+            f"xor_bytes requires equal lengths, got {len(a)} and {len(b)}"
+        )
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def constant_time_eq(a: bytes, b: bytes) -> bool:
+    """Timing-safe equality for MAC/secret comparison."""
+    return _stdlib_hmac.compare_digest(a, b)

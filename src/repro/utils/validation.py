@@ -1,0 +1,46 @@
+"""Small argument-validation helpers used across the library.
+
+These raise :class:`repro.errors.ParameterError` with messages naming
+the offending argument, keeping validation one line at call sites.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_in_range",
+    "check_type",
+]
+
+
+def check_positive_int(name: str, value: object) -> int:
+    """Validate that *value* is an ``int`` strictly greater than zero."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ParameterError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def check_nonnegative_int(name: str, value: object) -> int:
+    """Validate that *value* is an ``int`` greater than or equal to zero."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ParameterError(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: int, low: int, high: int) -> int:
+    """Validate ``low <= value <= high`` (inclusive bounds)."""
+    if not low <= value <= high:
+        raise ParameterError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_type(name: str, value: object, expected: type | tuple[type, ...]) -> object:
+    """Validate ``isinstance(value, expected)``."""
+    if not isinstance(value, expected):
+        exp = expected if isinstance(expected, type) else "/".join(t.__name__ for t in expected)
+        exp_name = exp.__name__ if isinstance(exp, type) else exp
+        raise ParameterError(f"{name} must be {exp_name}, got {type(value).__name__}")
+    return value

@@ -1,0 +1,110 @@
+"""Channel adversaries: the attack mechanics themselves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.adversary import (
+    AdditiveTamperAttack,
+    DropAttack,
+    Eavesdropper,
+    ReplayAttack,
+)
+from repro.core.source import SIESRecord
+from repro.errors import ParameterError
+from repro.network.channel import EdgeClass
+from repro.network.messages import DataMessage
+
+
+def _message(epoch: int = 1, sender: int = 0, ciphertext: int = 1000) -> DataMessage:
+    return DataMessage(
+        sender=sender, receiver=99, epoch=epoch,
+        psr=SIESRecord(ciphertext=ciphertext, epoch=epoch, modulus_bytes=32),
+    )
+
+
+def test_tamper_shifts_ciphertext_on_target_edge_only() -> None:
+    attack = AdditiveTamperAttack(delta=7, modulus=10**9)
+    out = attack(_message(), EdgeClass.AGGREGATOR_TO_QUERIER)
+    assert out.psr.ciphertext == 1007
+    untouched = attack(_message(), EdgeClass.SOURCE_TO_AGGREGATOR)
+    assert untouched.psr.ciphertext == 1000
+    assert attack.times_applied == 1
+
+
+def test_tamper_does_not_mutate_original() -> None:
+    attack = AdditiveTamperAttack(delta=7, modulus=10**9)
+    message = _message()
+    attack(message, EdgeClass.AGGREGATOR_TO_QUERIER)
+    assert message.psr.ciphertext == 1000
+
+
+def test_tamper_rejects_noop_delta() -> None:
+    with pytest.raises(ParameterError):
+        AdditiveTamperAttack(delta=10, modulus=10)
+
+
+def test_drop_filters_by_sender() -> None:
+    attack = DropAttack(sender_ids=frozenset({3}))
+    assert attack(_message(sender=3), EdgeClass.SOURCE_TO_AGGREGATOR) is None
+    assert attack(_message(sender=4), EdgeClass.SOURCE_TO_AGGREGATOR) is not None
+    assert attack(_message(sender=3), EdgeClass.AGGREGATOR_TO_QUERIER) is not None
+    assert attack.applications == [1]
+
+
+def test_drop_everything_on_edge() -> None:
+    attack = DropAttack(sender_ids=None, edge_class=EdgeClass.AGGREGATOR_TO_AGGREGATOR)
+    assert attack(_message(), EdgeClass.AGGREGATOR_TO_AGGREGATOR) is None
+
+
+def test_replay_captures_then_substitutes() -> None:
+    attack = ReplayAttack(capture_epoch=1)
+    original = attack(_message(epoch=1, ciphertext=111), EdgeClass.AGGREGATOR_TO_QUERIER)
+    assert original.psr.ciphertext == 111  # capture epoch passes through
+    later = attack(_message(epoch=3, ciphertext=333), EdgeClass.AGGREGATOR_TO_QUERIER)
+    assert later.psr.ciphertext == 111  # stale payload...
+    assert later.psr.epoch == 3  # ...relabelled to the current epoch
+    assert attack.applications == [3]
+
+
+def test_replay_does_nothing_before_capture() -> None:
+    attack = ReplayAttack(capture_epoch=5)
+    early = attack(_message(epoch=2, ciphertext=222), EdgeClass.AGGREGATOR_TO_QUERIER)
+    assert early.psr.ciphertext == 222
+    assert attack.times_applied == 0
+
+
+def test_eavesdropper_records_without_modification() -> None:
+    spy = Eavesdropper()
+    message = _message(ciphertext=555)
+    out = spy(message, EdgeClass.SOURCE_TO_AGGREGATOR)
+    assert out is message
+    assert spy.observed_ciphertexts() == [555]
+    assert spy.observations[0][:2] == (1, 0)
+
+
+def test_eavesdropper_edge_filter() -> None:
+    spy = Eavesdropper(edge_class=EdgeClass.AGGREGATOR_TO_QUERIER)
+    spy(_message(), EdgeClass.SOURCE_TO_AGGREGATOR)
+    assert spy.observations == []
+
+
+def test_bitflip_changes_exactly_one_bit_mostly() -> None:
+    from repro.attacks.adversary import BitFlipAttack
+
+    attack = BitFlipAttack(modulus=(1 << 61) - 1)  # Mersenne prime
+    out = attack(_message(epoch=3, ciphertext=1000), EdgeClass.AGGREGATOR_TO_QUERIER)
+    assert out.psr.ciphertext != 1000
+    assert attack.times_applied == 1
+    untouched = attack(_message(), EdgeClass.SOURCE_TO_AGGREGATOR)
+    assert untouched.psr.ciphertext == 1000
+
+
+def test_bitflip_deterministic_per_epoch() -> None:
+    from repro.attacks.adversary import BitFlipAttack
+
+    a = BitFlipAttack(modulus=(1 << 61) - 1)
+    b = BitFlipAttack(modulus=(1 << 61) - 1)
+    out_a = a(_message(epoch=5, ciphertext=99), EdgeClass.AGGREGATOR_TO_QUERIER)
+    out_b = b(_message(epoch=5, ciphertext=99), EdgeClass.AGGREGATOR_TO_QUERIER)
+    assert out_a.psr.ciphertext == out_b.psr.ciphertext

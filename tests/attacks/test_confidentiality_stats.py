@@ -1,0 +1,74 @@
+"""Statistical confidentiality battery over the real protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.confidentiality import (
+    bit_balance,
+    collect_ciphertexts,
+    distinguishing_experiment,
+    uniformity_chi_square,
+)
+from repro.baselines.cmt import CMTProtocol
+from repro.core.protocol import SIESProtocol
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def sies() -> SIESProtocol:
+    return SIESProtocol(4, seed=909)
+
+
+def test_sies_ciphertexts_look_uniform(sies: SIESProtocol) -> None:
+    ciphertexts = collect_ciphertexts(sies, 0, value=42, epochs=400)
+    result = uniformity_chi_square(ciphertexts, sies.p, bins=8)
+    assert result.samples == 400
+    assert result.looks_uniform(alpha=0.001)
+
+
+def test_cmt_ciphertexts_look_uniform() -> None:
+    cmt = CMTProtocol(4, seed=910)
+    ciphertexts = collect_ciphertexts(cmt, 0, value=42, epochs=400)
+    assert uniformity_chi_square(ciphertexts, cmt.n, bins=8).looks_uniform(alpha=0.001)
+
+
+def test_negative_control_plaintexts_fail_uniformity(sies: SIESProtocol) -> None:
+    """The test must have power: raw (non-uniform) values are rejected."""
+    fake = [1800 + (i % 3200) for i in range(400)]  # bottom sliver of Z_p
+    result = uniformity_chi_square(fake, sies.p, bins=8)
+    assert not result.looks_uniform(alpha=0.001)
+
+
+def test_bit_balance_mid_bits_unbiased(sies: SIESProtocol) -> None:
+    ciphertexts = collect_ciphertexts(sies, 0, value=7, epochs=300)
+    balance = bit_balance(ciphertexts, sies.p.bit_length())
+    mid_bits = [balance[b] for b in range(8, 248)]
+    # every mid bit within a generous binomial envelope around 1/2
+    assert all(0.35 < fraction < 0.65 for fraction in mid_bits)
+
+
+def test_chosen_plaintexts_indistinguishable(sies: SIESProtocol) -> None:
+    """The IND-EAV shape: min vs max plaintext, fresh keys per epoch."""
+    result = distinguishing_experiment(sies, 0, (1 << 32) - 1, samples=250)
+    assert result.distributions_indistinguishable(alpha=0.001)
+
+
+def test_negative_control_distinguisher_catches_weak_cipher() -> None:
+    """Power check: a deliberately broken 'cipher' (value in clear in
+    the high bits) is flagged immediately."""
+    from scipy import stats
+
+    world_a = [0.0 + i for i in range(250)]
+    world_b = [1e60 + i for i in range(250)]  # "value leaked in high bits"
+    _, p_value = stats.ks_2samp(world_a, world_b)
+    assert p_value < 1e-6
+
+
+def test_validation(sies: SIESProtocol) -> None:
+    with pytest.raises(ParameterError):
+        uniformity_chi_square([1] * 10, sies.p, bins=16)  # too few samples
+    with pytest.raises(ParameterError):
+        uniformity_chi_square([sies.p] * 200, sies.p, bins=4)  # out of range
+    with pytest.raises(ParameterError):
+        bit_balance([], 8)

@@ -1,0 +1,167 @@
+"""End-to-end attack scenarios: Theorems 1-4 exercised in the simulator."""
+
+from __future__ import annotations
+
+from repro.attacks.adversary import (
+    AdditiveTamperAttack,
+    DropAttack,
+    Eavesdropper,
+    ReplayAttack,
+    SketchDeflationAttack,
+    SketchInflationAttack,
+)
+from repro.attacks.scenarios import run_attack_scenario
+from repro.baselines.cmt import CMTProtocol
+from repro.baselines.secoa.secoa_sum import SECOASumProtocol
+from repro.core.protocol import SIESProtocol
+from repro.datasets.workload import UniformWorkload
+from repro.network.channel import EdgeClass
+
+N = 16
+WORKLOAD = UniformWorkload(N, 50, 500, seed=23)
+
+
+def test_tampering_vs_sies_always_detected() -> None:
+    protocol = SIESProtocol(N, seed=1)
+    outcome = run_attack_scenario(
+        protocol, AdditiveTamperAttack(delta=999, modulus=protocol.p), WORKLOAD, num_epochs=4
+    )
+    assert outcome.attack_always_detected
+    assert len(outcome.detected_epochs) == 4
+    assert not outcome.false_positive_epochs
+
+
+def test_tampering_vs_cmt_succeeds_silently() -> None:
+    """The paper's Section II-D CMT attack: the exact failure SIES fixes."""
+    protocol = CMTProtocol(N, seed=2)
+    outcome = run_attack_scenario(
+        protocol, AdditiveTamperAttack(delta=999, modulus=protocol.n), WORKLOAD, num_epochs=4
+    )
+    assert outcome.attack_succeeded_silently
+    assert len(outcome.undetected_epochs) == 4
+    for epoch, (reported, truth) in outcome.reported.items():
+        assert reported == truth + 999
+
+
+def test_drop_vs_sies_detected() -> None:
+    outcome = run_attack_scenario(
+        SIESProtocol(N, seed=3),
+        DropAttack(sender_ids=frozenset({0, 5})),
+        WORKLOAD,
+        num_epochs=3,
+    )
+    assert outcome.attack_always_detected
+
+
+def test_drop_vs_cmt_undetected() -> None:
+    outcome = run_attack_scenario(
+        CMTProtocol(N, seed=4),
+        DropAttack(sender_ids=frozenset({0})),
+        WORKLOAD,
+        num_epochs=3,
+    )
+    assert outcome.attack_succeeded_silently
+
+
+def test_replay_vs_sies_detected() -> None:
+    outcome = run_attack_scenario(
+        SIESProtocol(N, seed=5), ReplayAttack(capture_epoch=1), WORKLOAD, num_epochs=4
+    )
+    # epoch 1 is the clean capture; epochs 2-4 are replays and rejected
+    assert outcome.clean_epochs == [1]
+    assert outcome.detected_epochs == [2, 3, 4]
+
+
+def test_replay_vs_cmt_undetected() -> None:
+    outcome = run_attack_scenario(
+        CMTProtocol(N, seed=6), ReplayAttack(capture_epoch=1), WORKLOAD, num_epochs=3
+    )
+    assert outcome.attack_succeeded_silently
+
+
+def test_eavesdropper_never_perturbs_results() -> None:
+    spy = Eavesdropper()
+    outcome = run_attack_scenario(SIESProtocol(N, seed=7), spy, WORKLOAD, num_epochs=3)
+    # passive observation changes nothing: every epoch clean & correct...
+    assert outcome.undetected_epochs == [] and outcome.detected_epochs == []
+    assert len(outcome.harmless_epochs) == 3  # ...though the spy "applied"
+    # and the spy saw one ciphertext per hop
+    assert len(spy.observed_ciphertexts()) > 3 * N
+
+
+def test_sies_ciphertexts_leak_no_repetition() -> None:
+    """Confidentiality smoke check (Theorem 1): equal plaintexts must
+    yield distinct ciphertexts across sources and epochs."""
+    constant_workload = lambda s, t: 42  # noqa: E731
+    spy = Eavesdropper(edge_class=EdgeClass.SOURCE_TO_AGGREGATOR)
+    run_attack_scenario(SIESProtocol(N, seed=8), spy, constant_workload, num_epochs=3)
+    ciphertexts = spy.observed_ciphertexts()
+    assert len(ciphertexts) == 3 * N
+    assert len(set(ciphertexts)) == 3 * N  # no repeats despite equal values
+
+
+def test_sketch_inflation_vs_secoa_detected() -> None:
+    protocol = SECOASumProtocol(N, num_sketches=6, rsa_bits=512, seed=9)
+    outcome = run_attack_scenario(
+        protocol,
+        SketchInflationAttack(sketch_index=0, boost=5, seal_context=protocol.seal_context),
+        WORKLOAD,
+        num_epochs=2,
+    )
+    assert outcome.attack_always_detected
+
+
+def test_sketch_deflation_vs_secoa_detected() -> None:
+    protocol = SECOASumProtocol(N, num_sketches=6, rsa_bits=512, seed=10)
+    outcome = run_attack_scenario(
+        protocol, SketchDeflationAttack(sketch_index=0), WORKLOAD, num_epochs=2
+    )
+    assert outcome.attack_always_detected
+
+
+def test_max_truth_function() -> None:
+    """Custom truth reducers plug in (used for secoa_m scenarios)."""
+    from repro.baselines.secoa.secoa_max import SECOAMaxProtocol
+
+    protocol = SECOAMaxProtocol(N, rsa_bits=512, seed=11)
+    spy = Eavesdropper()
+    small = UniformWorkload(N, 1, 40, seed=24)
+    outcome = run_attack_scenario(
+        protocol, spy, small, num_epochs=2,
+        truth=lambda epoch, ids: max(small(s, epoch) for s in ids),
+    )
+    assert not outcome.undetected_epochs
+    assert not outcome.false_positive_epochs
+
+
+def test_summary_is_readable() -> None:
+    outcome = run_attack_scenario(
+        SIESProtocol(N, seed=12),
+        AdditiveTamperAttack(delta=1, modulus=SIESProtocol(N, seed=12).p),
+        WORKLOAD,
+        num_epochs=2,
+    )
+    text = outcome.summary()
+    assert "sies" in text and "detected" in text
+
+
+def test_single_bitflip_vs_sies_detected() -> None:
+    """Theorem 2 at its weakest adversary: one flipped ciphertext bit."""
+    from repro.attacks.adversary import BitFlipAttack
+
+    protocol = SIESProtocol(N, seed=13)
+    outcome = run_attack_scenario(
+        protocol, BitFlipAttack(modulus=protocol.p), WORKLOAD, num_epochs=5
+    )
+    assert outcome.attack_always_detected
+    assert len(outcome.detected_epochs) == 5
+
+
+def test_single_bitflip_vs_cmt_silent() -> None:
+    from repro.attacks.adversary import BitFlipAttack
+
+    protocol = CMTProtocol(N, seed=14)
+    outcome = run_attack_scenario(
+        protocol, BitFlipAttack(modulus=protocol.n), WORKLOAD, num_epochs=5
+    )
+    assert outcome.attack_succeeded_silently

@@ -1,0 +1,74 @@
+"""Inflation certificates and XOR-aggregate MACs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.secoa.certificates import (
+    CERTIFICATE_BYTES,
+    aggregate_certificates,
+    inflation_certificate,
+    temporal_seed_bytes,
+)
+from repro.crypto.hmac import HM1
+from repro.crypto.prf import encode_epoch
+from repro.errors import ParameterError
+
+KEY = b"\x21" * 20
+
+
+def test_certificate_is_hm1_of_triple() -> None:
+    cert = inflation_certificate(KEY, sketch_index=2, level=7, epoch=5)
+    message = (2).to_bytes(4, "big") + (7).to_bytes(4, "big") + encode_epoch(5)
+    assert cert == HM1(KEY, message)
+    assert len(cert) == CERTIFICATE_BYTES
+
+
+def test_certificate_binds_every_field() -> None:
+    base = inflation_certificate(KEY, 1, 2, 3)
+    assert inflation_certificate(KEY, 9, 2, 3) != base
+    assert inflation_certificate(KEY, 1, 9, 3) != base
+    assert inflation_certificate(KEY, 1, 2, 9) != base
+    assert inflation_certificate(b"\x22" * 20, 1, 2, 3) != base
+
+
+def test_temporal_seed_binds_epoch_and_index() -> None:
+    base = temporal_seed_bytes(KEY, 0, 1)
+    assert temporal_seed_bytes(KEY, 1, 1) != base
+    assert temporal_seed_bytes(KEY, 0, 2) != base
+    assert len(base) == 20
+
+
+def test_aggregate_is_xor() -> None:
+    a = inflation_certificate(KEY, 0, 1, 1)
+    b = inflation_certificate(KEY, 1, 1, 1)
+    aggregate = aggregate_certificates([a, b])
+    assert aggregate == bytes(x ^ y for x, y in zip(a, b))
+    # XOR identity: aggregating with itself cancels
+    assert aggregate_certificates([a, b, b]) == a
+
+
+def test_aggregate_order_independent() -> None:
+    certs = [inflation_certificate(KEY, j, j + 1, 2) for j in range(5)]
+    assert aggregate_certificates(certs) == aggregate_certificates(list(reversed(certs)))
+
+
+def test_aggregate_single_certificate_is_identity() -> None:
+    a = inflation_certificate(KEY, 0, 1, 1)
+    assert aggregate_certificates([a]) == a
+
+
+def test_aggregate_validation() -> None:
+    with pytest.raises(ParameterError):
+        aggregate_certificates([])
+    with pytest.raises(ParameterError):
+        aggregate_certificates([b"\x00" * 19])
+
+
+def test_negative_fields_rejected() -> None:
+    with pytest.raises(ParameterError):
+        inflation_certificate(KEY, -1, 0, 0)
+    with pytest.raises(ParameterError):
+        inflation_certificate(KEY, 0, -1, 0)
+    with pytest.raises(ParameterError):
+        temporal_seed_bytes(KEY, -1, 0)

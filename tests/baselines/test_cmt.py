@@ -1,0 +1,104 @@
+"""CMT: exact sums, confidentiality shape, and the missing integrity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.cmt import CMTProtocol, CMTRecord
+from repro.errors import ParameterError, ProtocolError
+from repro.protocols.base import OpCounter
+from repro.protocols.registry import create_protocol
+
+N = 8
+
+
+@pytest.fixture(scope="module")
+def protocol() -> CMTProtocol:
+    return CMTProtocol(N, seed=31)
+
+
+def _final(protocol: CMTProtocol, epoch: int, values: list[int]) -> CMTRecord:
+    psrs = [protocol.create_source(i).initialize(epoch, v) for i, v in enumerate(values)]
+    return protocol.create_aggregator().merge(epoch, psrs)
+
+
+def test_registered_and_flags(protocol: CMTProtocol) -> None:
+    assert isinstance(create_protocol("cmt", 2, seed=1), CMTProtocol)
+    assert protocol.provides_confidentiality
+    assert not protocol.provides_integrity
+    assert protocol.exact
+
+
+def test_wire_size_is_20_bytes(protocol: CMTProtocol) -> None:
+    assert protocol.psr_bytes == 20
+    psr = protocol.create_source(0).initialize(1, 5)
+    assert psr.wire_size() == 20
+
+
+def test_exact_sum_recovery(protocol: CMTProtocol) -> None:
+    values = [1800, 5000, 0, 7, 123456, 2, 3, 4]
+    result = protocol.create_querier().evaluate(2, _final(protocol, 2, values))
+    assert result.value == sum(values)
+    assert result.exact
+    assert not result.verified  # CMT can never vouch for integrity
+
+
+def test_temporal_keys_change_per_epoch(protocol: CMTProtocol) -> None:
+    source = protocol.create_source(0)
+    assert source.initialize(1, 42).ciphertext != source.initialize(2, 42).ciphertext
+
+
+def test_tampering_goes_undetected_exactly_as_the_paper_says(protocol: CMTProtocol) -> None:
+    """Section II-D: 'the adversary can inject any integer v' to c'."""
+    final = _final(protocol, 3, [10] * N)
+    injected = CMTRecord(
+        ciphertext=(final.ciphertext + 999) % protocol.n, epoch=3, modulus_bytes=20
+    )
+    result = protocol.create_querier().evaluate(3, injected)
+    assert result.value == 10 * N + 999  # silently wrong
+
+
+def test_reporting_subset(protocol: CMTProtocol) -> None:
+    reporting = [1, 3, 5]
+    psrs = [protocol.create_source(i).initialize(4, 50) for i in reporting]
+    final = protocol.create_aggregator().merge(4, psrs)
+    result = protocol.create_querier().evaluate(4, final, reporting_sources=reporting)
+    assert result.value == 150
+
+
+def test_value_validation(protocol: CMTProtocol) -> None:
+    source = protocol.create_source(0)
+    with pytest.raises(ParameterError):
+        source.initialize(1, -1)
+    with pytest.raises(ParameterError):
+        source.initialize(1, protocol.n)
+
+
+def test_merge_validation(protocol: CMTProtocol) -> None:
+    aggregator = protocol.create_aggregator()
+    with pytest.raises(ProtocolError):
+        aggregator.merge(1, [])
+    a = protocol.create_source(0).initialize(1, 5)
+    b = protocol.create_source(1).initialize(2, 5)
+    with pytest.raises(ProtocolError):
+        aggregator.merge(1, [a, b])
+
+
+def test_op_counts_match_cost_model(protocol: CMTProtocol) -> None:
+    ops = OpCounter()
+    protocol.create_source(0, ops=ops).initialize(1, 5)
+    assert ops.counts == {"hm1": 1, "add20": 1}  # Eq. 1
+    ops = OpCounter()
+    psrs = [protocol.create_source(i).initialize(2, 1) for i in range(4)]
+    protocol.create_aggregator(ops=ops).merge(2, psrs)
+    assert ops.counts == {"add20": 3}  # Eq. 4 with F=4
+    ops = OpCounter()
+    protocol.create_querier(ops=ops).evaluate(3, _final(protocol, 3, [1] * N))
+    assert ops.counts == {"hm1": N, "add20": N}  # Eq. 7
+
+
+def test_seeded_reproducibility() -> None:
+    a = CMTProtocol(3, seed=9)
+    b = CMTProtocol(3, seed=9)
+    assert a.keys == b.keys
+    assert a.create_source(1).initialize(1, 5).ciphertext == b.create_source(1).initialize(1, 5).ciphertext

@@ -1,0 +1,120 @@
+"""SEAL algebra: rolling, folding, one-wayness consequences."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.secoa.seal import Seal, SealContext
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.errors import ParameterError, ProtocolError
+from repro.protocols.base import OpCounter
+
+
+@pytest.fixture(scope="module")
+def ctx() -> SealContext:
+    keypair = generate_rsa_keypair(512, rng=random.Random(3), public_exponent=3)
+    return SealContext(keypair.public)
+
+
+def test_create_is_iterated_encryption(ctx: SealContext) -> None:
+    seed = 987654321
+    seal = ctx.create(seed, 3)
+    assert seal.position == 3
+    assert seal.value == ctx.public_key.encrypt_iterated(seed, 3)
+    assert ctx.create(seed, 0).value == seed
+
+
+def test_seal_bytes(ctx: SealContext) -> None:
+    assert ctx.seal_bytes == 64  # 512-bit modulus
+
+
+def test_roll_forward(ctx: SealContext) -> None:
+    seed = 424242
+    assert ctx.roll(ctx.create(seed, 2), 5) == ctx.create(seed, 5)
+    seal = ctx.create(seed, 2)
+    assert ctx.roll(seal, 2) is seal  # zero-step roll is free
+
+
+def test_roll_backwards_is_refused(ctx: SealContext) -> None:
+    with pytest.raises(ProtocolError, match="backwards"):
+        ctx.roll(ctx.create(5, 4), 3)
+
+
+def test_fold_same_position(ctx: SealContext) -> None:
+    """The paper's folding: E^v(a)·E^v(b) = E^v(a·b)."""
+    n = ctx.public_key.n
+    a, b, v = 1234567, 7654321, 4
+    folded = ctx.fold([ctx.create(a, v), ctx.create(b, v)])
+    assert folded == ctx.create((a * b) % n, v)
+
+
+def test_fold_requires_equal_positions(ctx: SealContext) -> None:
+    with pytest.raises(ProtocolError, match="positions"):
+        ctx.fold([ctx.create(5, 1), ctx.create(5, 2)])
+    with pytest.raises(ProtocolError):
+        ctx.fold([])
+
+
+def test_paper_example_roll_then_fold(ctx: SealContext) -> None:
+    """Section II-D's example: v1=3, v2=5 — roll the v1 SEAL twice, fold."""
+    n = ctx.public_key.n
+    sd1, sd2 = 111, 222
+    seal1 = ctx.create(sd1, 3)
+    seal2 = ctx.create(sd2, 5)
+    aggregate = ctx.fold([ctx.roll(seal1, 5), seal2])
+    assert aggregate == ctx.create((sd1 * sd2) % n, 5)
+
+
+def test_roll_and_fold_equals_reference(ctx: SealContext) -> None:
+    """roll/fold in any order equals fold-seeds-then-roll (the querier's
+    reference construction)."""
+    rng = random.Random(5)
+    seeds = [rng.randrange(1, ctx.public_key.n) for _ in range(5)]
+    positions = [rng.randrange(0, 6) for _ in range(5)]
+    target = max(positions)
+    network_view = ctx.roll_and_fold(
+        [ctx.create(s, p) for s, p in zip(seeds, positions)], target
+    )
+    assert network_view == ctx.reference_seal(seeds, target)
+
+
+def test_fold_by_position_groups(ctx: SealContext) -> None:
+    seals = [ctx.create(3, 1), ctx.create(5, 2), ctx.create(7, 1), ctx.create(11, 4)]
+    grouped = ctx.fold_by_position(seals)
+    assert [s.position for s in grouped] == [1, 2, 4]
+    assert grouped[0] == ctx.fold([seals[0], seals[2]])
+
+
+def test_zero_seed_is_remapped(ctx: SealContext) -> None:
+    """Seed 0 is an RSA fixed point that would zero out every fold."""
+    assert ctx.create(0, 3) == ctx.create(1, 3)
+    reference = ctx.reference_seal([0, 5], 2)
+    assert reference == ctx.reference_seal([1, 5], 2)
+
+
+def test_op_counting(ctx: SealContext) -> None:
+    ops = OpCounter()
+    ctx.create(9, 4, ops=ops)
+    assert ops.get("rsa") == 4
+    ops = OpCounter()
+    ctx.roll(ctx.create(9, 1), 6, ops=ops)
+    assert ops.get("rsa") == 5
+    ops = OpCounter()
+    ctx.fold([ctx.create(3, 2), ctx.create(5, 2), ctx.create(7, 2)], ops=ops)
+    assert ops.get("mul128") == 2
+    ops = OpCounter()
+    ctx.reference_seal([3, 5, 7], 2, ops=ops)
+    assert ops.get("mul128") == 2 and ops.get("rsa") == 2
+
+
+def test_seal_validation(ctx: SealContext) -> None:
+    with pytest.raises(ParameterError):
+        Seal(position=-1, value=5)
+    with pytest.raises(ParameterError):
+        Seal(position=1, value=-5)
+    with pytest.raises(ParameterError):
+        ctx.create(ctx.public_key.n, 1)
+    with pytest.raises(ProtocolError):
+        ctx.reference_seal([], 3)

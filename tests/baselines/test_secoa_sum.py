@@ -1,0 +1,182 @@
+"""SECOA_S: approximate SUM over protected sketches."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.secoa.secoa_sum import SECOASumProtocol, SECOASumRecord
+from repro.baselines.secoa.sketch import SketchStrategy
+from repro.errors import IntegrityError, ProtocolError
+from repro.protocols.base import OpCounter
+from repro.protocols.registry import create_protocol
+
+N = 8
+J = 6
+
+
+@pytest.fixture(scope="module")
+def protocol() -> SECOASumProtocol:
+    return SECOASumProtocol(
+        N, num_sketches=J, rsa_bits=512, seed=81, strategy=SketchStrategy.PER_ITEM
+    )
+
+
+def _final(protocol: SECOASumProtocol, epoch: int, values: list[int]) -> SECOASumRecord:
+    psrs = [protocol.create_source(i).initialize(epoch, v) for i, v in enumerate(values)]
+    aggregator = protocol.create_aggregator()
+    return aggregator.finalize_for_querier(aggregator.merge(epoch, psrs))
+
+
+def test_registered_and_flags(protocol: SECOASumProtocol) -> None:
+    assert isinstance(
+        create_protocol("secoa_s", 2, num_sketches=2, rsa_bits=512, seed=1),
+        SECOASumProtocol,
+    )
+    assert protocol.provides_integrity and not protocol.provides_confidentiality
+    assert not protocol.exact
+
+
+def test_honest_run_verifies_and_estimates(protocol: SECOASumProtocol) -> None:
+    values = [100, 200, 50, 300, 150, 75, 220, 90]
+    final = _final(protocol, 1, values)
+    result = protocol.create_querier().evaluate(1, final)
+    assert result.verified and not result.exact
+    assert result.value > 0
+    assert result.extras["estimate"] == pytest.approx(
+        2 ** result.extras["mean_level"], rel=1e-9
+    )
+    # tiny J gives loose accuracy; just require the right order of magnitude
+    assert sum(values) / 20 < result.value < sum(values) * 20
+
+
+def test_hierarchical_merge_matches_flat(protocol: SECOASumProtocol) -> None:
+    epoch = 2
+    values = [10, 20, 30, 40, 50, 60, 70, 80]
+    psrs = [protocol.create_source(i).initialize(epoch, v) for i, v in enumerate(values)]
+    agg = protocol.create_aggregator()
+    nested = agg.finalize_for_querier(
+        agg.merge(epoch, [agg.merge(epoch, psrs[:4]), agg.merge(epoch, psrs[4:])])
+    )
+    flat = agg.finalize_for_querier(agg.merge(epoch, psrs))
+    assert nested.levels == flat.levels
+    assert nested.winners == flat.winners
+    assert nested.certificate == flat.certificate
+    assert nested.seals == flat.seals
+
+
+def test_internal_wire_size_matches_eq10(protocol: SECOASumProtocol) -> None:
+    psr = protocol.create_source(0).initialize(1, 100)
+    assert psr.wire_size() == J * 1 + J * 64 + 20  # Eq. 10 with 512-bit SEALs
+
+
+def test_final_wire_size_matches_eq11(protocol: SECOASumProtocol) -> None:
+    final = _final(protocol, 3, [100] * N)
+    seals = len(final.seals)
+    assert seals <= J
+    assert final.wire_size() == J * 1 + seals * 64 + 20  # Eq. 11
+    assert sorted({s.position for s in final.seals}) == [s.position for s in final.seals]
+
+
+def test_sketch_inflation_detected(protocol: SECOASumProtocol) -> None:
+    final = _final(protocol, 4, [100] * N)
+    levels = list(final.levels)
+    levels[0] += 3
+    # the adversary can roll SEALs forward consistently, but not re-MAC
+    ctx = protocol.seal_context
+    new_max = max(levels)
+    seals = [ctx.roll(s, max(s.position, new_max)) for s in final.seals]
+    forged = dataclasses.replace(final, levels=levels, seals=ctx.fold_by_position(seals))
+    with pytest.raises(IntegrityError, match="certificate"):
+        protocol.create_querier().evaluate(4, forged)
+
+
+def test_sketch_deflation_detected(protocol: SECOASumProtocol) -> None:
+    final = _final(protocol, 5, [500] * N)
+    levels = list(final.levels)
+    target = max(range(J), key=lambda j: levels[j])
+    levels[target] = 0
+    forged = dataclasses.replace(final, levels=levels)
+    with pytest.raises(IntegrityError):
+        protocol.create_querier().evaluate(5, forged)
+
+
+def test_certificate_swap_detected(protocol: SECOASumProtocol) -> None:
+    final = _final(protocol, 6, [100] * N)
+    forged = dataclasses.replace(final, certificate=bytes(20))
+    with pytest.raises(IntegrityError, match="certificate"):
+        protocol.create_querier().evaluate(6, forged)
+
+
+def test_replay_detected(protocol: SECOASumProtocol) -> None:
+    stale = _final(protocol, 7, [100] * N)
+    replayed = dataclasses.replace(stale, epoch=8)
+    with pytest.raises(IntegrityError):
+        protocol.create_querier().evaluate(8, replayed)
+
+
+def test_non_reporting_winner_detected(protocol: SECOASumProtocol) -> None:
+    final = _final(protocol, 9, [100] * N)
+    missing = final.winners[0]
+    reporting = [i for i in range(N) if i != missing]
+    with pytest.raises(IntegrityError, match="winner"):
+        protocol.create_querier().evaluate(9, final, reporting_sources=reporting)
+
+
+def test_querier_requires_finalized_psr(protocol: SECOASumProtocol) -> None:
+    psrs = [protocol.create_source(i).initialize(10, 10) for i in range(N)]
+    merged = protocol.create_aggregator().merge(10, psrs)
+    with pytest.raises(ProtocolError, match="finalized"):
+        protocol.create_querier().evaluate(10, merged)
+
+
+def test_aggregator_requires_unfinalized_children(protocol: SECOASumProtocol) -> None:
+    final = _final(protocol, 11, [10] * N)
+    with pytest.raises(ProtocolError):
+        protocol.create_aggregator().merge(11, [final])
+    with pytest.raises(ProtocolError):
+        protocol.create_aggregator().finalize_for_querier(final)
+
+
+def test_sketch_count_mismatch_detected(protocol: SECOASumProtocol) -> None:
+    final = _final(protocol, 12, [10] * N)
+    truncated = dataclasses.replace(
+        final, levels=final.levels[:-1], winners=final.winners[:-1]
+    )
+    with pytest.raises(IntegrityError, match="sketch"):
+        protocol.create_querier().evaluate(12, truncated)
+
+
+def test_source_op_counts_match_eq2(protocol: SECOASumProtocol) -> None:
+    ops = OpCounter()
+    psr = protocol.create_source(0, ops=ops).initialize(13, 50)
+    assert ops.get("sketch") == J * 50
+    assert ops.get("hm1") == 2 * J
+    assert ops.get("rsa") == sum(psr.levels)
+
+
+def test_aggregator_op_counts_match_eq5(protocol: SECOASumProtocol) -> None:
+    epoch = 14
+    psrs = [protocol.create_source(i).initialize(epoch, 30) for i in range(4)]
+    ops = OpCounter()
+    merged = protocol.create_aggregator(ops=ops).merge(epoch, psrs)
+    assert ops.get("mul128") == J * (4 - 1)
+    expected_rolls = sum(
+        max(p.levels[j] for p in psrs) - p.levels[j] for j in range(J) for p in psrs
+    )
+    assert ops.get("rsa") == expected_rolls
+    assert merged.levels == [max(p.levels[j] for p in psrs) for j in range(J)]
+
+
+def test_querier_op_counts_match_eq8(protocol: SECOASumProtocol) -> None:
+    epoch = 15
+    final = _final(protocol, epoch, [40] * N)
+    ops = OpCounter()
+    protocol.create_querier(ops=ops).evaluate(epoch, final)
+    seals = len(final.seals)
+    assert ops.get("hm1") == J * N + J
+    assert ops.get("mul128") == (J * N - 1) + (seals - 1)
+    x_max = max(final.levels)
+    collected_rolls = sum(x_max - s.position for s in final.seals)
+    assert ops.get("rsa") == collected_rolls + x_max

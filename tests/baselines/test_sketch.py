@@ -1,0 +1,157 @@
+"""Distinct-count sketches: levels, strategies, estimation."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.baselines.secoa.sketch import (
+    MAX_LEVEL,
+    DistinctCountSketch,
+    SketchStrategy,
+    estimate_sum,
+    item_level,
+    max_level_cdf,
+    sample_sketch_level,
+    splitmix64,
+)
+from repro.errors import ParameterError
+from repro.protocols.base import OpCounter
+
+
+def test_splitmix64_is_deterministic_and_64bit() -> None:
+    assert splitmix64(0) == splitmix64(0)
+    assert splitmix64(0) != splitmix64(1)
+    assert all(0 <= splitmix64(i) < 1 << 64 for i in range(100))
+
+
+def test_item_level_distribution_is_geometric() -> None:
+    """P(level = l) ≈ 2^-(l+1): check frequencies over many items."""
+    counts: dict[int, int] = {}
+    n = 20000
+    for i in range(n):
+        level = item_level(i, sketch_seed=7)
+        counts[level] = counts.get(level, 0) + 1
+    assert counts[0] / n == pytest.approx(0.5, abs=0.02)
+    assert counts[1] / n == pytest.approx(0.25, abs=0.02)
+    assert counts[2] / n == pytest.approx(0.125, abs=0.015)
+
+
+def test_item_level_deterministic_per_seed() -> None:
+    assert item_level(42, 1) == item_level(42, 1)
+    levels_a = [item_level(i, 1) for i in range(50)]
+    levels_b = [item_level(i, 2) for i in range(50)]
+    assert levels_a != levels_b
+
+
+def test_max_level_cdf_sanity() -> None:
+    assert max_level_cdf(-1, 5) == 0.0
+    assert max_level_cdf(MAX_LEVEL, 5) == 1.0
+    assert max_level_cdf(0, 1) == pytest.approx(0.5)
+    assert max_level_cdf(3, 1) == pytest.approx(1 - 2**-4)
+    # monotone in x, decreasing in count
+    assert max_level_cdf(2, 10) < max_level_cdf(3, 10)
+    assert max_level_cdf(3, 100) < max_level_cdf(3, 10)
+
+
+@pytest.mark.parametrize("strategy", list(SketchStrategy))
+def test_strategies_deterministic(strategy: SketchStrategy) -> None:
+    a = sample_sketch_level(100, strategy=strategy, seed=5, labels=("x",))
+    b = sample_sketch_level(100, strategy=strategy, seed=5, labels=("x",))
+    assert a == b
+    c = sample_sketch_level(100, strategy=strategy, seed=5, labels=("y",))
+    assert isinstance(c, int) and 0 <= c <= MAX_LEVEL
+
+
+@pytest.mark.parametrize("strategy", list(SketchStrategy))
+def test_zero_items(strategy: SketchStrategy) -> None:
+    assert sample_sketch_level(0, strategy=strategy, seed=1) == 0
+
+
+def test_ops_counted_per_item_on_every_strategy() -> None:
+    for strategy in SketchStrategy:
+        ops = OpCounter()
+        sample_sketch_level(123, strategy=strategy, seed=1, ops=ops)
+        assert ops.get("sketch") == 123  # the paper's J*v*C_sk accounting
+
+
+@pytest.mark.parametrize("strategy", list(SketchStrategy))
+@pytest.mark.parametrize("count", [32, 1024])
+def test_strategy_distributions_agree(strategy: SketchStrategy, count: int) -> None:
+    """All strategies sample the same max-of-geometrics distribution:
+    their means must sit near log2(count) and near each other."""
+    samples = [
+        sample_sketch_level(count, strategy=strategy, seed=s, labels=("d",))
+        for s in range(400)
+    ]
+    mean = statistics.fmean(samples)
+    # E[max level of n geometrics] ≈ log2(n) + 0.33 with spread ~1.87/sqrt(400)
+    assert mean == pytest.approx(math.log2(count) + 0.33, abs=0.45)
+
+
+def test_closed_form_handles_huge_counts() -> None:
+    level = sample_sketch_level(10**9, strategy=SketchStrategy.CLOSED_FORM, seed=3)
+    assert 20 <= level <= MAX_LEVEL  # log2(1e9) ≈ 30, generous envelope
+
+
+def test_incremental_sketch_object() -> None:
+    sketch = DistinctCountSketch(seed=9)
+    for i in range(100):
+        sketch.insert(i)
+    assert sketch.items_inserted == 100
+    reference = max(item_level(i, 9) for i in range(100))
+    assert sketch.level == reference
+    assert sketch.estimate() == 2.0**reference
+
+
+def test_sketch_merge_is_max_and_idempotent() -> None:
+    a = DistinctCountSketch(seed=9)
+    b = DistinctCountSketch(seed=9)
+    for i in range(50):
+        a.insert(i)
+    for i in range(50, 100):
+        b.insert(i)
+    merged_level = max(a.level, b.level)
+    a.merge(b)
+    assert a.level == merged_level
+    # inserting the same items again cannot raise the level (hash-based)
+    before = a.level
+    for i in range(100):
+        a.insert(i)
+    assert a.level == before
+
+
+def test_sketch_merge_requires_same_seed() -> None:
+    with pytest.raises(ParameterError):
+        DistinctCountSketch(seed=1).merge(DistinctCountSketch(seed=2))
+
+
+def test_estimate_sum_paper_accuracy_claim() -> None:
+    """J=300 bounds relative error within ~10% w.p. 90% (Section VI).
+
+    2^x̄ is a biased estimator; we check the paper-level claim loosely:
+    the J-sketch estimate of a known distinct count lands within 35%
+    (the bias constant of the raw FM estimator) for most seeds.
+    """
+    true_count = 5000
+    hits = 0
+    trials = 10
+    for trial in range(trials):
+        levels = [
+            sample_sketch_level(
+                true_count, strategy=SketchStrategy.CLOSED_FORM,
+                seed=trial, labels=(str(j),),
+            )
+            for j in range(300)
+        ]
+        estimate = estimate_sum(levels)
+        if abs(estimate - true_count) / true_count < 0.5:
+            hits += 1
+    assert hits >= 7
+
+
+def test_estimate_sum_empty_rejected() -> None:
+    with pytest.raises(ParameterError):
+        estimate_sum([])

@@ -1,0 +1,53 @@
+"""Shared fixtures: small, fast protocol instances and workloads.
+
+Protocol setup (key generation, prime search, RSA keygen) dominates
+test time, so session-scoped fixtures share instances across tests that
+only *read* protocol state; tests that mutate or need fresh keys build
+their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.cmt import CMTProtocol
+from repro.baselines.secoa.secoa_max import SECOAMaxProtocol
+from repro.baselines.secoa.secoa_sum import SECOASumProtocol
+from repro.baselines.secoa.sketch import SketchStrategy
+from repro.core.protocol import SIESProtocol
+from repro.datasets.workload import UniformWorkload
+from repro.network.topology import build_complete_tree
+
+SMALL_N = 16
+
+
+@pytest.fixture(scope="session")
+def sies_small() -> SIESProtocol:
+    return SIESProtocol(SMALL_N, seed=101)
+
+
+@pytest.fixture(scope="session")
+def cmt_small() -> CMTProtocol:
+    return CMTProtocol(SMALL_N, seed=102)
+
+
+@pytest.fixture(scope="session")
+def secoa_m_small() -> SECOAMaxProtocol:
+    return SECOAMaxProtocol(SMALL_N, rsa_bits=512, seed=103)
+
+
+@pytest.fixture(scope="session")
+def secoa_s_small() -> SECOASumProtocol:
+    return SECOASumProtocol(
+        SMALL_N, num_sketches=6, rsa_bits=512, seed=104, strategy=SketchStrategy.PER_ITEM
+    )
+
+
+@pytest.fixture(scope="session")
+def small_workload() -> UniformWorkload:
+    return UniformWorkload(SMALL_N, 10, 200, seed=105)
+
+
+@pytest.fixture()
+def small_tree():
+    return build_complete_tree(SMALL_N, 4)

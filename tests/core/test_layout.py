@@ -1,0 +1,103 @@
+"""The Fig. 2 plaintext bit layout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.layout import MessageLayout
+from repro.core.params import SIESParams
+from repro.errors import LayoutError, ParameterError
+
+
+@pytest.fixture()
+def layout() -> MessageLayout:
+    return MessageLayout(value_bits=32, pad_bits=10, share_bits=160)
+
+
+def test_encode_places_value_in_top_bits(layout: MessageLayout) -> None:
+    m = layout.encode(5, 3)
+    assert m == (5 << 170) | 3
+    assert m.bit_length() <= layout.total_bits
+
+
+def test_decode_roundtrip(layout: MessageLayout) -> None:
+    for value, share in [(0, 0), (1, 1), (2**32 - 1, 2**160 - 1), (1800, 12345)]:
+        assert layout.decode(layout.encode(value, share)) == (value, share)
+
+
+def test_aggregation_keeps_fields_separate(layout: MessageLayout) -> None:
+    """Summing up to 2^pad_bits messages never carries into the value field."""
+    count = 1024  # = 2^pad_bits
+    max_share = 2**160 - 1
+    aggregate = sum(layout.encode(100, max_share) for _ in range(count))
+    value, secret = layout.decode(aggregate)
+    assert value == 100 * count
+    assert secret == max_share * count
+
+
+def test_fig3_example_semantics(layout: MessageLayout) -> None:
+    """The paper's Fig. 3: four sources' sums decode componentwise."""
+    values = [1800, 2000, 4999, 3200]
+    shares = [7, 11, 13, 17]
+    aggregate = sum(layout.encode(v, s) for v, s in zip(values, shares))
+    assert layout.decode(aggregate) == (sum(values), sum(shares))
+
+
+def test_value_field_capacity(layout: MessageLayout) -> None:
+    layout.encode(2**32 - 1, 0)
+    with pytest.raises(LayoutError):
+        layout.encode(2**32, 0)
+
+
+def test_share_field_capacity(layout: MessageLayout) -> None:
+    layout.encode(0, 2**160 - 1)
+    with pytest.raises(LayoutError):
+        layout.encode(0, 2**160)
+
+
+def test_negative_inputs_rejected(layout: MessageLayout) -> None:
+    with pytest.raises(ParameterError):
+        layout.encode(-1, 0)
+    with pytest.raises(ParameterError):
+        layout.encode(0, -1)
+    with pytest.raises(ParameterError):
+        layout.decode(-1)
+
+
+def test_decode_detects_oversized_aggregate(layout: MessageLayout) -> None:
+    with pytest.raises(LayoutError, match="corrupted|overflowed"):
+        layout.decode(1 << layout.total_bits)
+
+
+def test_from_params_matches_fields() -> None:
+    params = SIESParams(num_sources=1024)
+    layout = MessageLayout.from_params(params)
+    assert (layout.value_bits, layout.pad_bits, layout.share_bits) == (32, 10, 160)
+    assert layout.secret_bits == 170
+    assert layout.aggregation_capacity == 1024
+
+
+def test_truncate_share_full_and_partial() -> None:
+    digest = bytes(range(20))
+    full = MessageLayout(value_bits=32, pad_bits=4, share_bits=160)
+    assert full.truncate_share(digest) == int.from_bytes(digest, "big")
+    half = MessageLayout(value_bits=32, pad_bits=4, share_bits=64)
+    assert half.truncate_share(digest) == int.from_bytes(digest[:8], "big")
+    odd = MessageLayout(value_bits=32, pad_bits=4, share_bits=12)
+    assert odd.truncate_share(digest) == int.from_bytes(digest[:2], "big") >> 4
+    assert odd.truncate_share(digest) < 1 << 12
+
+
+def test_truncate_share_needs_enough_digest() -> None:
+    layout = MessageLayout(value_bits=32, pad_bits=4, share_bits=160)
+    with pytest.raises(ParameterError):
+        layout.truncate_share(b"\x01" * 19)
+
+
+def test_zero_width_fields_rejected() -> None:
+    with pytest.raises(LayoutError):
+        MessageLayout(value_bits=0, pad_bits=1, share_bits=8)
+    with pytest.raises(LayoutError):
+        MessageLayout(value_bits=8, pad_bits=1, share_bits=0)
+    # pad_bits may be zero (single-source network)
+    MessageLayout(value_bits=8, pad_bits=0, share_bits=8)

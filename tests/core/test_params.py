@@ -1,0 +1,82 @@
+"""SIES parameter object and modulus selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import SIESParams
+from repro.crypto.primes import is_probable_prime
+from repro.errors import LayoutError, ParameterError
+
+
+def test_paper_default_sizes() -> None:
+    params = SIESParams(num_sources=1024)
+    assert params.value_bytes == 4 and params.share_bytes == 20
+    assert params.pad_bits == 10  # log2(1024)
+    assert params.plaintext_bits == 32 + 10 + 160
+    # 32-byte PSRs, exactly as the paper states
+    assert params.modulus_bytes == 32
+    assert is_probable_prime(params.p)
+    assert params.p > 1 << 255
+
+
+@pytest.mark.parametrize("n,expected_pad", [(1, 0), (2, 1), (3, 2), (4, 2), (1000, 10), (1024, 10), (16384, 14)])
+def test_pad_bits_is_ceil_log2(n: int, expected_pad: int) -> None:
+    assert SIESParams(num_sources=n).pad_bits == expected_pad
+
+
+def test_modulus_exceeds_max_aggregate() -> None:
+    """Legitimate aggregates must never wrap modulo p (DESIGN.md §4)."""
+    for n in (2, 100, 1024):
+        params = SIESParams(num_sources=n)
+        max_aggregate = (1 << params.plaintext_bits) - 1
+        assert params.p > max_aggregate
+
+
+def test_eight_byte_value_field() -> None:
+    params = SIESParams(num_sources=1024, value_bytes=8)
+    assert params.max_result == (1 << 64) - 1
+    assert params.plaintext_bits == 64 + 10 + 160
+    assert params.p > 1 << (64 + 10 + 160)
+
+
+def test_large_n_grows_modulus() -> None:
+    params = SIESParams(num_sources=1 << 40, value_bytes=8)
+    # 64 + 40 + 160 = 264 bits of plaintext -> p exceeds 2^264
+    assert params.p.bit_length() >= 265
+
+
+def test_max_result_capacity_check() -> None:
+    params = SIESParams(num_sources=1024)
+    params.check_capacity(0xFFFFFFFF)
+    with pytest.raises(LayoutError, match="value_bytes=8"):
+        params.check_capacity(0x1_0000_0000)
+
+
+def test_invalid_parameters() -> None:
+    with pytest.raises(ParameterError):
+        SIESParams(num_sources=0)
+    with pytest.raises(ParameterError):
+        SIESParams(num_sources=4, value_bytes=6)
+    with pytest.raises(ParameterError):
+        SIESParams(num_sources=4, share_bytes=0)
+    with pytest.raises(ParameterError):
+        SIESParams(num_sources=4, share_bytes=21)
+    with pytest.raises(LayoutError):
+        SIESParams(num_sources=(1 << 64) + 1)
+
+
+def test_modulus_deterministic_and_cached() -> None:
+    a = SIESParams(num_sources=64)
+    b = SIESParams(num_sources=64)
+    assert a.p == b.p
+    # different layouts below the 255-bit floor share the same p
+    c = SIESParams(num_sources=128)
+    assert c.p == a.p
+
+
+def test_share_size_ablation_layouts() -> None:
+    params = SIESParams(num_sources=256, share_bytes=8)
+    assert params.share_bits == 64
+    assert params.plaintext_bits == 32 + 8 + 64
+    assert params.modulus_bytes == 32  # floor keeps the paper wire size

@@ -1,0 +1,44 @@
+"""Theorem 1/2/4 probability bounds as computed quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import SIESParams
+from repro.core.security import bounds_for
+
+
+def test_paper_default_bounds() -> None:
+    """At the paper's sizes the stated exponents must reproduce."""
+    bounds = bounds_for(SIESParams(num_sources=1024))
+    assert bounds.log2_confidentiality_break == -256  # Theorem 1
+    assert bounds.log2_long_term_key_guess == -160  # 20-byte k_i
+    # Theorem 2: 2^32 / 2^256 = 2^-224
+    assert bounds.log2_integrity_forgery == pytest.approx(32 - 256)
+    # Theorem 4: 20-byte shares -> 2^-160-shaped collision bound
+    assert bounds.log2_replay_collision == -160
+    assert bounds.meets_paper_defaults()
+
+
+def test_eight_byte_field_weakens_integrity_bound_slightly() -> None:
+    narrow = bounds_for(SIESParams(num_sources=1024, value_bytes=4))
+    wide = bounds_for(SIESParams(num_sources=1024, value_bytes=8))
+    # a wider value field leaves fewer constrained bits: 2^-192 vs 2^-224
+    assert wide.log2_integrity_forgery > narrow.log2_integrity_forgery
+    assert wide.log2_integrity_forgery == pytest.approx(64 - 256)
+
+
+def test_short_shares_weaken_bounds_monotonically() -> None:
+    exponents = [
+        bounds_for(SIESParams(num_sources=256, share_bytes=s)).log2_replay_collision
+        for s in (4, 8, 20)
+    ]
+    assert exponents[0] > exponents[1] > exponents[2]
+    assert not bounds_for(SIESParams(num_sources=256, share_bytes=4)).meets_paper_defaults()
+
+
+def test_bounds_scale_with_modulus() -> None:
+    small_n = bounds_for(SIESParams(num_sources=2))
+    huge_n = bounds_for(SIESParams(num_sources=1 << 40, value_bytes=8))
+    # a bigger modulus (driven by N) tightens the forgery bound
+    assert huge_n.log2_integrity_forgery < small_n.log2_integrity_forgery + 64

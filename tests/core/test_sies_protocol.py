@@ -1,0 +1,88 @@
+"""The SIES protocol facade and its security-property surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import SIESProtocol
+from repro.errors import LayoutError, ParameterError
+from repro.protocols.registry import create_protocol
+
+
+def test_registered_under_sies() -> None:
+    protocol = create_protocol("sies", 4, seed=1)
+    assert isinstance(protocol, SIESProtocol)
+    assert protocol.name == "sies"
+
+
+def test_security_property_flags() -> None:
+    protocol = SIESProtocol(4, seed=1)
+    assert protocol.exact
+    assert protocol.provides_confidentiality
+    assert protocol.provides_integrity
+
+
+def test_docstring_example() -> None:
+    protocol = SIESProtocol(num_sources=4, seed=7)
+    sources = [protocol.create_source(i) for i in range(4)]
+    psrs = [s.initialize(1, v) for s, v in zip(sources, [10, 20, 30, 40])]
+    merged = protocol.create_aggregator().merge(1, psrs)
+    assert protocol.create_querier().evaluate(1, merged).value == 100
+
+
+def test_seeded_setup_is_reproducible() -> None:
+    a = SIESProtocol(4, seed=5)
+    b = SIESProtocol(4, seed=5)
+    assert a.keys.master_key == b.keys.master_key
+    assert a.p == b.p
+    psr_a = a.create_source(0).initialize(1, 7)
+    psr_b = b.create_source(0).initialize(1, 7)
+    assert psr_a.ciphertext == psr_b.ciphertext
+
+
+def test_unseeded_setups_differ() -> None:
+    assert SIESProtocol(2).keys.master_key != SIESProtocol(2).keys.master_key
+
+
+def test_capacity_check_at_setup() -> None:
+    SIESProtocol(4, max_possible_sum=0xFFFFFFFF)
+    with pytest.raises(LayoutError):
+        SIESProtocol(4, max_possible_sum=0x1_0000_0000)
+    # the 8-byte field accepts it
+    SIESProtocol(4, value_bytes=8, max_possible_sum=0x1_0000_0000)
+
+
+def test_source_id_bounds() -> None:
+    protocol = SIESProtocol(4, seed=1)
+    with pytest.raises(ParameterError):
+        protocol.create_source(4)
+    with pytest.raises(ParameterError):
+        protocol.create_source(-1)
+
+
+def test_cross_instance_psrs_do_not_verify() -> None:
+    """Keys are per-deployment: PSRs from another instance must fail."""
+    a = SIESProtocol(2, seed=1)
+    b = SIESProtocol(2, seed=2)
+    psrs = [b.create_source(i).initialize(1, 5) for i in range(2)]
+    final = b.create_aggregator().merge(1, psrs)
+    from repro.errors import VerificationFailure
+
+    with pytest.raises(VerificationFailure):
+        a.create_querier().evaluate(1, final)
+
+
+def test_value_bytes_8_roundtrip() -> None:
+    protocol = SIESProtocol(2, value_bytes=8, seed=3)
+    big = (1 << 40) + 12345
+    psrs = [protocol.create_source(i).initialize(1, big) for i in range(2)]
+    final = protocol.create_aggregator().merge(1, psrs)
+    assert protocol.create_querier().evaluate(1, final).value == 2 * big
+
+
+def test_short_share_ablation_still_works() -> None:
+    protocol = SIESProtocol(4, share_bytes=4, seed=9)
+    psrs = [protocol.create_source(i).initialize(1, i + 1) for i in range(4)]
+    final = protocol.create_aggregator().merge(1, psrs)
+    result = protocol.create_querier().evaluate(1, final)
+    assert result.value == 10 and result.verified

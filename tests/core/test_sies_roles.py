@@ -1,0 +1,182 @@
+"""The three SIES phases, exercised directly on the role objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import SIESProtocol
+from repro.core.source import SIESRecord
+from repro.errors import LayoutError, ProtocolError, VerificationFailure
+from repro.protocols.base import OpCounter
+
+N = 8
+
+
+@pytest.fixture(scope="module")
+def protocol() -> SIESProtocol:
+    return SIESProtocol(N, seed=77)
+
+
+def _final(protocol: SIESProtocol, epoch: int, values: list[int]) -> SIESRecord:
+    psrs = [protocol.create_source(i).initialize(epoch, v) for i, v in enumerate(values)]
+    return protocol.create_aggregator().merge(epoch, psrs)
+
+
+def test_initialization_produces_fixed_size_records(protocol: SIESProtocol) -> None:
+    psr = protocol.create_source(0).initialize(1, 42)
+    assert isinstance(psr, SIESRecord)
+    assert psr.wire_size() == protocol.psr_bytes == 32
+    assert psr.epoch == 1
+    assert 0 <= psr.ciphertext < protocol.p
+
+
+def test_same_value_different_epochs_different_ciphertexts(protocol: SIESProtocol) -> None:
+    source = protocol.create_source(0)
+    c1 = source.initialize(1, 42).ciphertext
+    c2 = source.initialize(2, 42).ciphertext
+    assert c1 != c2  # temporal keys guarantee semantic freshness
+
+
+def test_same_value_different_sources_different_ciphertexts(protocol: SIESProtocol) -> None:
+    a = protocol.create_source(0).initialize(1, 42).ciphertext
+    b = protocol.create_source(1).initialize(1, 42).ciphertext
+    assert a != b
+
+
+def test_source_rejects_out_of_range_values(protocol: SIESProtocol) -> None:
+    source = protocol.create_source(0)
+    with pytest.raises(LayoutError):
+        source.initialize(1, -1)
+    with pytest.raises(LayoutError):
+        source.initialize(1, 1 << 32)
+    source.initialize(1, (1 << 32) - 1)  # max fits
+
+
+def test_merge_is_modular_addition(protocol: SIESProtocol) -> None:
+    psrs = [protocol.create_source(i).initialize(4, 10 * i) for i in range(N)]
+    merged = protocol.create_aggregator().merge(4, psrs)
+    assert merged.ciphertext == sum(p.ciphertext for p in psrs) % protocol.p
+    assert merged.wire_size() == 32
+
+
+def test_merge_rejects_epoch_header_mismatch(protocol: SIESProtocol) -> None:
+    a = protocol.create_source(0).initialize(1, 5)
+    b = protocol.create_source(1).initialize(2, 5)
+    with pytest.raises(ProtocolError, match="epoch"):
+        protocol.create_aggregator().merge(1, [a, b])
+
+
+def test_merge_rejects_foreign_and_empty(protocol: SIESProtocol) -> None:
+    aggregator = protocol.create_aggregator()
+    with pytest.raises(ProtocolError):
+        aggregator.merge(1, [])
+    with pytest.raises(ProtocolError):
+        aggregator.merge(1, [object()])  # type: ignore[list-item]
+
+
+def test_merge_is_associative(protocol: SIESProtocol) -> None:
+    values = [3, 7, 11, 19]
+    psrs = [protocol.create_source(i).initialize(5, v) for i, v in enumerate(values)]
+    agg = protocol.create_aggregator()
+    left = agg.merge(5, [agg.merge(5, psrs[:2]), agg.merge(5, psrs[2:])])
+    flat = agg.merge(5, psrs)
+    assert left.ciphertext == flat.ciphertext
+
+
+def test_evaluation_recovers_exact_sum(protocol: SIESProtocol) -> None:
+    values = [1800, 5000, 0, 42, 1, 99999, 2**20, 7]
+    final = _final(protocol, 6, values)
+    result = protocol.create_querier().evaluate(6, final)
+    assert result.value == sum(values)
+    assert result.verified and result.exact
+    assert result.extras["contributors"] == N
+
+
+def test_evaluation_zero_sum(protocol: SIESProtocol) -> None:
+    final = _final(protocol, 7, [0] * N)
+    assert protocol.create_querier().evaluate(7, final).value == 0
+
+
+def test_evaluation_detects_single_bit_tamper(protocol: SIESProtocol) -> None:
+    final = _final(protocol, 8, [10] * N)
+    final.ciphertext ^= 1
+    with pytest.raises(VerificationFailure):
+        protocol.create_querier().evaluate(8, final)
+
+
+def test_evaluation_detects_additive_shift(protocol: SIESProtocol) -> None:
+    """The CMT attack from Section II-D, applied to SIES."""
+    final = _final(protocol, 9, [10] * N)
+    shifted = SIESRecord(
+        ciphertext=(final.ciphertext + 12345) % protocol.p, epoch=9, modulus_bytes=32
+    )
+    with pytest.raises(VerificationFailure):
+        protocol.create_querier().evaluate(9, shifted)
+
+
+def test_evaluation_detects_missing_contribution(protocol: SIESProtocol) -> None:
+    """A dropped source breaks the share sum even though the ciphertext
+    is a perfectly well-formed aggregate."""
+    psrs = [protocol.create_source(i).initialize(10, 5) for i in range(N - 1)]
+    partial = protocol.create_aggregator().merge(10, psrs)
+    with pytest.raises(VerificationFailure):
+        protocol.create_querier().evaluate(10, partial)
+
+
+def test_evaluation_detects_duplicate_contribution(protocol: SIESProtocol) -> None:
+    psrs = [protocol.create_source(i).initialize(11, 5) for i in range(N)]
+    psrs.append(psrs[0])  # replayed within the epoch
+    doubled = protocol.create_aggregator().merge(11, psrs)
+    with pytest.raises(VerificationFailure):
+        protocol.create_querier().evaluate(11, doubled)
+
+
+def test_evaluation_detects_cross_epoch_replay(protocol: SIESProtocol) -> None:
+    """Theorem 4: a stale final PSR relabelled to the current epoch."""
+    stale = _final(protocol, 12, [10] * N)
+    replayed = SIESRecord(ciphertext=stale.ciphertext, epoch=13, modulus_bytes=32)
+    with pytest.raises(VerificationFailure):
+        protocol.create_querier().evaluate(13, replayed)
+
+
+def test_evaluation_with_reporting_subset(protocol: SIESProtocol) -> None:
+    reporting = [0, 2, 4, 6]
+    psrs = [protocol.create_source(i).initialize(14, 100 + i) for i in reporting]
+    final = protocol.create_aggregator().merge(14, psrs)
+    result = protocol.create_querier().evaluate(14, final, reporting_sources=reporting)
+    assert result.value == sum(100 + i for i in reporting)
+    assert result.extras["contributors"] == 4
+
+
+def test_evaluation_wrong_reporting_subset_fails(protocol: SIESProtocol) -> None:
+    psrs = [protocol.create_source(i).initialize(15, 1) for i in (0, 1)]
+    final = protocol.create_aggregator().merge(15, psrs)
+    with pytest.raises(VerificationFailure):
+        protocol.create_querier().evaluate(15, final, reporting_sources=[0, 2])
+
+
+def test_querier_rejects_foreign_psr(protocol: SIESProtocol) -> None:
+    with pytest.raises(ProtocolError):
+        protocol.create_querier().evaluate(1, object())  # type: ignore[arg-type]
+    with pytest.raises(ProtocolError):
+        protocol.create_querier().evaluate(
+            1, _final(protocol, 1, [1] * N), reporting_sources=[]
+        )
+
+
+def test_op_counters_per_phase(protocol: SIESProtocol) -> None:
+    ops = OpCounter()
+    protocol.create_source(0, ops=ops).initialize(1, 5)
+    assert ops.counts == {"hm256": 2, "hm1": 1, "mul32": 1, "add32": 1}
+
+    ops = OpCounter()
+    psrs = [protocol.create_source(i).initialize(2, 5) for i in range(4)]
+    protocol.create_aggregator(ops=ops).merge(2, psrs)
+    assert ops.counts == {"add32": 3}
+
+    ops = OpCounter()
+    final = _final(protocol, 3, [5] * N)
+    protocol.create_querier(ops=ops).evaluate(3, final)
+    assert ops.counts == {
+        "hm256": N + 1, "hm1": N, "add32": 2 * N - 1, "inv32": 1, "mul32": 1,
+    }

@@ -1,0 +1,62 @@
+"""Cost constants and OpCounter pricing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel.constants import PAPER_CONSTANTS, PAPER_SIZES, CostConstants
+from repro.errors import ParameterError
+from repro.protocols.base import OpCounter
+
+
+def test_paper_constants_match_table2() -> None:
+    us = PAPER_CONSTANTS.as_microseconds()
+    assert us["C_sk"] == pytest.approx(0.037)
+    assert us["C_RSA"] == pytest.approx(5.36)
+    assert us["C_HM1"] == pytest.approx(0.46)
+    assert us["C_HM256"] == pytest.approx(1.02)
+    assert us["C_A20"] == pytest.approx(0.15)
+    assert us["C_A32"] == pytest.approx(0.37)
+    assert us["C_M32"] == pytest.approx(0.45)
+    assert us["C_M128"] == pytest.approx(1.39)
+    assert us["C_MI32"] == pytest.approx(3.2)
+
+
+def test_paper_sizes_match_table2() -> None:
+    assert PAPER_SIZES.s_sk == 1
+    assert PAPER_SIZES.s_inf == 20
+    assert PAPER_SIZES.s_seal == 128
+    assert PAPER_SIZES.cmt_psr == 20
+    assert PAPER_SIZES.sies_psr == 32
+
+
+def test_cost_of_maps_every_op() -> None:
+    assert PAPER_CONSTANTS.cost_of("hm1") == PAPER_CONSTANTS.c_hm1
+    assert PAPER_CONSTANTS.cost_of("sketch") == PAPER_CONSTANTS.c_sk
+    with pytest.raises(ParameterError):
+        PAPER_CONSTANTS.cost_of("nope")
+
+
+def test_modeled_seconds_prices_a_ledger() -> None:
+    ops = OpCounter()
+    ops.add("hm256", 2)
+    ops.add("hm1", 1)
+    ops.add("mul32", 1)
+    ops.add("add32", 1)
+    # this is exactly Eq. 3 — the SIES source cost
+    expected = (
+        2 * PAPER_CONSTANTS.c_hm256
+        + PAPER_CONSTANTS.c_hm1
+        + PAPER_CONSTANTS.c_m32
+        + PAPER_CONSTANTS.c_a32
+    )
+    assert PAPER_CONSTANTS.modeled_seconds(ops) == pytest.approx(expected)
+    assert PAPER_CONSTANTS.modeled_seconds(OpCounter()) == 0.0
+
+
+def test_negative_constants_rejected() -> None:
+    with pytest.raises(ParameterError):
+        CostConstants(
+            c_sk=-1, c_rsa=0, c_hm1=0, c_hm256=0, c_a20=0, c_a32=0,
+            c_m32=0, c_m128=0, c_mi32=0,
+        )

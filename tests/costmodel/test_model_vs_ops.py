@@ -1,0 +1,151 @@
+"""Closed-form Eqs. 1–11 must equal the priced operation ledgers.
+
+The cost models and the executable protocols were written separately;
+this suite pins them together: running a phase with an OpCounter and
+pricing the ledger must give *exactly* the equation's value. Any drift
+— an operation added to the code but not the model, or vice versa —
+fails here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.cmt import CMTProtocol
+from repro.baselines.secoa.secoa_sum import SECOASumProtocol
+from repro.baselines.secoa.sketch import SketchStrategy
+from repro.core.protocol import SIESProtocol
+from repro.costmodel.constants import PAPER_CONSTANTS
+from repro.costmodel.models import cmt_costs, secoas_costs, sies_costs
+from repro.experiments.common import build_final_psr
+from repro.protocols.base import OpCounter
+
+N = 8
+F = 4
+J = 5
+
+
+@pytest.fixture(scope="module")
+def sies() -> SIESProtocol:
+    return SIESProtocol(N, seed=51)
+
+
+@pytest.fixture(scope="module")
+def cmt() -> CMTProtocol:
+    return CMTProtocol(N, seed=52)
+
+
+@pytest.fixture(scope="module")
+def secoa() -> SECOASumProtocol:
+    return SECOASumProtocol(
+        N, num_sketches=J, rsa_bits=512, seed=53, strategy=SketchStrategy.PER_ITEM
+    )
+
+
+def _priced(ops: OpCounter) -> float:
+    return PAPER_CONSTANTS.modeled_seconds(ops)
+
+
+def test_sies_source_ledger_equals_eq3(sies) -> None:
+    ops = OpCounter()
+    sies.create_source(0, ops=ops).initialize(1, 100)
+    expected = sies_costs(PAPER_CONSTANTS, num_sources=N, fanout=F).source
+    assert _priced(ops) == pytest.approx(expected)
+
+
+def test_sies_aggregator_ledger_equals_eq6(sies) -> None:
+    psrs = [sies.create_source(i).initialize(1, 1) for i in range(F)]
+    ops = OpCounter()
+    sies.create_aggregator(ops=ops).merge(1, psrs)
+    expected = sies_costs(PAPER_CONSTANTS, num_sources=N, fanout=F).aggregator
+    assert _priced(ops) == pytest.approx(expected)
+
+
+def test_sies_querier_ledger_equals_eq9(sies) -> None:
+    final = build_final_psr(sies, 1, [10] * N)
+    ops = OpCounter()
+    sies.create_querier(ops=ops).evaluate(1, final)
+    expected = sies_costs(PAPER_CONSTANTS, num_sources=N, fanout=F).querier
+    assert _priced(ops) == pytest.approx(expected)
+
+
+def test_cmt_ledgers_equal_eqs_1_4_7(cmt) -> None:
+    expected = cmt_costs(PAPER_CONSTANTS, num_sources=N, fanout=F)
+
+    ops = OpCounter()
+    cmt.create_source(0, ops=ops).initialize(1, 5)
+    assert _priced(ops) == pytest.approx(expected.source)
+
+    psrs = [cmt.create_source(i).initialize(1, 1) for i in range(F)]
+    ops = OpCounter()
+    cmt.create_aggregator(ops=ops).merge(1, psrs)
+    assert _priced(ops) == pytest.approx(expected.aggregator)
+
+    final = build_final_psr(cmt, 1, [10] * N)
+    ops = OpCounter()
+    cmt.create_querier(ops=ops).evaluate(1, final)
+    assert _priced(ops) == pytest.approx(expected.querier)
+
+
+def test_secoa_ledgers_equal_eqs_2_5_8(secoa) -> None:
+    """SECOA_S with *observed* data-dependent quantities plugged into
+    the equations must price identically to the executed ledgers."""
+    epoch = 1
+    value = 20
+
+    # --- source / Eq. 2 ------------------------------------------------
+    ops = OpCounter()
+    psr0 = secoa.create_source(0, ops=ops).initialize(epoch, value)
+    expected = secoas_costs(
+        PAPER_CONSTANTS,
+        num_sources=N,
+        fanout=F,
+        num_sketches=J,
+        value=value,
+        sketch_values=psr0.levels,
+        aggregator_rolls=0,
+        collected_seals=1,
+        collected_rolls=0,
+        x_max=0,
+    ).source
+    assert _priced(ops) == pytest.approx(expected)
+
+    # --- aggregator / Eq. 5 ---------------------------------------------
+    psrs = [secoa.create_source(i).initialize(epoch, value) for i in range(F)]
+    ops = OpCounter()
+    secoa.create_aggregator(ops=ops).merge(epoch, psrs)
+    rolls = sum(
+        max(p.levels[j] for p in psrs) - p.levels[j] for j in range(J) for p in psrs
+    )
+    expected = secoas_costs(
+        PAPER_CONSTANTS,
+        num_sources=N,
+        fanout=F,
+        num_sketches=J,
+        value=value,
+        sketch_values=[0] * J,
+        aggregator_rolls=rolls,
+        collected_seals=1,
+        collected_rolls=0,
+        x_max=0,
+    ).aggregator
+    assert _priced(ops) == pytest.approx(expected)
+
+    # --- querier / Eq. 8 -------------------------------------------------
+    final = build_final_psr(secoa, epoch, [value] * N)
+    ops = OpCounter()
+    secoa.create_querier(ops=ops).evaluate(epoch, final)
+    x_max = max(final.levels)
+    expected = secoas_costs(
+        PAPER_CONSTANTS,
+        num_sources=N,
+        fanout=F,
+        num_sketches=J,
+        value=value,
+        sketch_values=[0] * J,
+        aggregator_rolls=0,
+        collected_seals=len(final.seals),
+        collected_rolls=sum(x_max - s.position for s in final.seals),
+        x_max=x_max,
+    ).querier
+    assert _priced(ops) == pytest.approx(expected)

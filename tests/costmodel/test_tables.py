@@ -1,0 +1,82 @@
+"""Table III / Table V evaluation objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel.constants import PAPER_CONSTANTS
+from repro.costmodel.tables import DEFAULTS, evaluate_table3, evaluate_table5
+from repro.experiments.paper_data import TABLE3_REPORTED
+
+
+def test_defaults_match_table4() -> None:
+    assert DEFAULTS["num_sources"] == 1024
+    assert DEFAULTS["fanout"] == 4
+    assert DEFAULTS["domain"] == (1800, 5000)
+    assert DEFAULTS["num_sketches"] == 300
+
+
+def test_table3_reproduces_paper_within_tolerance() -> None:
+    """Model @ paper constants vs the printed table.
+
+    Tolerances: CPU rows within 2% except the two documented paper
+    inconsistencies (CMT source row and SIES source rounding)."""
+    table = evaluate_table3(PAPER_CONSTANTS)
+    checks = [
+        ("Comput. cost at A", "cmt", 0.02),
+        ("Comput. cost at A", "secoa_min", 0.02),
+        ("Comput. cost at A", "secoa_max", 0.02),
+        ("Comput. cost at A", "sies", 0.02),
+        ("Comput. cost at S", "secoa_min", 0.02),
+        ("Comput. cost at S", "secoa_max", 0.02),
+        ("Comput. cost at Q", "cmt", 0.02),
+        ("Comput. cost at Q", "secoa_min", 0.02),
+        ("Comput. cost at Q", "sies", 0.02),
+        ("Commun. cost S-A", "sies", 0.0),
+        ("Commun. cost S-A", "cmt", 0.0),
+        ("Commun. cost S-A", "secoa_min", 0.0),
+        ("Commun. cost A-Q", "secoa_min", 0.0),
+    ]
+    for metric, scheme, tolerance in checks:
+        ours = getattr(table.row(metric), scheme)
+        reported = TABLE3_REPORTED[metric][scheme]
+        if tolerance == 0.0:
+            assert ours == reported, (metric, scheme)
+        else:
+            assert ours == pytest.approx(reported, rel=tolerance), (metric, scheme)
+
+
+def test_table3_documented_inconsistencies() -> None:
+    """The paper's CMT-source cell disagrees with its own Eq. 1; our model
+    follows the equation (0.61 us) not the cell (1.17 us)."""
+    table = evaluate_table3(PAPER_CONSTANTS)
+    ours = table.row("Comput. cost at S").cmt
+    assert ours == pytest.approx(0.61e-6, rel=0.01)
+    assert ours != pytest.approx(TABLE3_REPORTED["Comput. cost at S"]["cmt"], rel=0.05)
+
+
+def test_table3_row_lookup_and_order() -> None:
+    table = evaluate_table3(PAPER_CONSTANTS)
+    assert [r.metric for r in table.rows] == [
+        "Comput. cost at S", "Comput. cost at A", "Comput. cost at Q",
+        "Commun. cost S-A", "Commun. cost A-A", "Commun. cost A-Q",
+    ]
+    with pytest.raises(KeyError):
+        table.row("nope")
+
+
+def test_table5_model_values() -> None:
+    table = evaluate_table5()
+    assert table.cmt.source_to_aggregator == 20
+    assert table.sies.aggregator_to_querier == 32
+    assert table.secoa_min.source_to_aggregator == 38720
+    assert table.secoa_min.aggregator_to_querier == 448
+    assert table.secoa_max.aggregator_to_querier == 3392
+
+
+def test_table3_scales_with_parameters() -> None:
+    small = evaluate_table3(PAPER_CONSTANTS, num_sources=64)
+    large = evaluate_table3(PAPER_CONSTANTS, num_sources=4096)
+    assert large.row("Comput. cost at Q").sies > small.row("Comput. cost at Q").sies
+    # source/aggregator costs are N-independent
+    assert large.row("Comput. cost at S").sies == small.row("Comput. cost at S").sies

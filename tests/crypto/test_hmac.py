@@ -1,0 +1,74 @@
+"""HMAC (RFC 2104) against RFC test vectors and the stdlib."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as stdlib_hmac
+
+import pytest
+
+from repro.crypto.hashes import get_hash
+from repro.crypto.hmac import HM1, HM256, HMAC, hmac_digest
+
+# RFC 2202 (HMAC-SHA1) and RFC 4231 (HMAC-SHA256) vectors.
+RFC2202_SHA1 = [
+    (b"\x0b" * 20, b"Hi There", "b617318655057264e28bc0b6fb378c8ef146be00"),
+    (b"Jefe", b"what do ya want for nothing?", "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"),
+    (b"\xaa" * 80, b"Test Using Larger Than Block-Size Key - Hash Key First",
+     "aa4ae5e15272d00e95705637ce8a3b55ed402112"),
+]
+
+RFC4231_SHA256 = [
+    (b"\x0b" * 20, b"Hi There",
+     "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"),
+    (b"Jefe", b"what do ya want for nothing?",
+     "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"),
+    (b"\xaa" * 131, b"Test Using Larger Than Block-Size Key - Hash Key First",
+     "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"),
+]
+
+
+@pytest.mark.parametrize("key,msg,expected", RFC2202_SHA1)
+def test_rfc2202_hmac_sha1(key: bytes, msg: bytes, expected: str) -> None:
+    assert HM1(key, msg).hex() == expected
+
+
+@pytest.mark.parametrize("key,msg,expected", RFC4231_SHA256)
+def test_rfc4231_hmac_sha256(key: bytes, msg: bytes, expected: str) -> None:
+    assert HM256(key, msg).hex() == expected
+
+
+@pytest.mark.parametrize("backend", ["hashlib", "pure"])
+@pytest.mark.parametrize("key_len", [0, 1, 20, 63, 64, 65, 200])
+def test_matches_stdlib_for_all_key_lengths(backend: str, key_len: int) -> None:
+    key = bytes(range(256))[:key_len] or b""
+    msg = b"the epoch is 42"
+    if key_len == 0:
+        key = b"\x00"  # stdlib allows empty keys; our PRF layer forbids them
+    assert HM1(key, msg, backend=backend) == stdlib_hmac.new(key, msg, hashlib.sha1).digest()
+    assert HM256(key, msg, backend=backend) == stdlib_hmac.new(key, msg, hashlib.sha256).digest()
+
+
+def test_incremental_hmac() -> None:
+    mac = HMAC(b"key", get_hash("sha256"))
+    mac.update(b"part one ")
+    mac.update(b"part two")
+    assert mac.digest() == HM256(b"key", b"part one part two")
+    assert mac.hexdigest() == HM256(b"key", b"part one part two").hex()
+
+
+def test_hmac_digest_selects_algorithm() -> None:
+    assert hmac_digest(b"k", b"m", "sha1") == HM1(b"k", b"m")
+    assert hmac_digest(b"k", b"m", "sha256") == HM256(b"k", b"m")
+    assert len(hmac_digest(b"k", b"m", "sha1")) == 20
+
+
+def test_digest_sizes_match_paper() -> None:
+    # Table I: HM1 -> 20 bytes, HM256 -> 32 bytes.
+    assert len(HM1(b"k" * 20, b"m")) == 20
+    assert len(HM256(b"k" * 20, b"m")) == 32
+
+
+def test_key_separation() -> None:
+    assert HM1(b"key-a", b"m") != HM1(b"key-b", b"m")
+    assert HM256(b"key-a", b"m") != HM256(b"key-b", b"m")

@@ -1,0 +1,78 @@
+"""One-way key chains — the μTesla substrate."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.crypto.hashes import get_hash
+from repro.crypto.keychain import OneWayKeyChain, verify_disclosed_key
+from repro.errors import ParameterError
+
+
+@pytest.fixture()
+def chain() -> OneWayKeyChain:
+    return OneWayKeyChain(b"\x01" * 32, length=20)
+
+
+def test_chain_links_by_hashing(chain: OneWayKeyChain) -> None:
+    h = get_hash("sha256")
+    for i in range(chain.length):
+        assert h.digest(chain.key(i + 1)) == chain.key(i)
+
+
+def test_commitment_is_key_zero(chain: OneWayKeyChain) -> None:
+    assert chain.commitment == chain.key(0)
+
+
+def test_verify_from_commitment(chain: OneWayKeyChain) -> None:
+    for i in range(1, chain.length + 1):
+        assert verify_disclosed_key(chain.key(i), i, chain.commitment)
+
+
+def test_verify_from_later_anchor(chain: OneWayKeyChain) -> None:
+    assert verify_disclosed_key(chain.key(9), 9, chain.key(5), 5)
+    assert not verify_disclosed_key(chain.key(9), 8, chain.key(5), 5)
+
+
+def test_forged_keys_rejected(chain: OneWayKeyChain) -> None:
+    assert not verify_disclosed_key(os.urandom(32), 5, chain.commitment)
+    # a later key presented as an earlier one must fail
+    assert not verify_disclosed_key(chain.key(7), 5, chain.commitment)
+
+
+def test_non_monotone_indices_rejected(chain: OneWayKeyChain) -> None:
+    assert not verify_disclosed_key(chain.key(3), 3, chain.key(5), 5)
+    assert not verify_disclosed_key(chain.key(5), 5, chain.key(5), 5)
+
+
+def test_chain_exhaustion(chain: OneWayKeyChain) -> None:
+    chain.key(chain.length)
+    with pytest.raises(ParameterError):
+        chain.key(chain.length + 1)
+
+
+def test_chain_verify_method(chain: OneWayKeyChain) -> None:
+    assert chain.verify(chain.key(4), 4)
+    assert chain.verify(chain.key(8), 8, trusted_index=4, trusted_key=chain.key(4))
+    assert not chain.verify(os.urandom(32), 4)
+
+
+def test_different_roots_give_different_chains() -> None:
+    a = OneWayKeyChain(b"a" * 32, length=5)
+    b = OneWayKeyChain(b"b" * 32, length=5)
+    assert a.commitment != b.commitment
+
+
+def test_raw_root_never_exposed() -> None:
+    root = b"super secret root 0123456789abcdef"
+    chain = OneWayKeyChain(root, length=3)
+    assert all(chain.key(i) != root for i in range(4))
+
+
+def test_constructor_validation() -> None:
+    with pytest.raises(ParameterError):
+        OneWayKeyChain(b"", 5)
+    with pytest.raises(ParameterError):
+        OneWayKeyChain(b"root", 0)

@@ -1,0 +1,107 @@
+"""Merkle hash trees (the commit-and-attest substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.hashes import get_hash
+from repro.crypto.merkle import MerklePath, MerkleTree, verify_merkle_path
+from repro.errors import ParameterError
+
+
+def _leaves(n: int) -> list[bytes]:
+    return [f"value-{i}".encode() for i in range(n)]
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 16, 33, 100])
+def test_every_leaf_verifies(n: int) -> None:
+    leaves = _leaves(n)
+    tree = MerkleTree(leaves)
+    for i, leaf in enumerate(leaves):
+        assert verify_merkle_path(leaf, tree.path(i), tree.root), (n, i)
+
+
+@pytest.mark.parametrize("n", [2, 8, 33])
+def test_wrong_leaf_fails(n: int) -> None:
+    leaves = _leaves(n)
+    tree = MerkleTree(leaves)
+    assert not verify_merkle_path(b"forged", tree.path(0), tree.root)
+    assert not verify_merkle_path(leaves[1], tree.path(0), tree.root)
+
+
+def test_wrong_root_fails() -> None:
+    tree = MerkleTree(_leaves(8))
+    other = MerkleTree(_leaves(9))
+    assert not verify_merkle_path(_leaves(8)[0], tree.path(0), other.root)
+
+
+def test_root_changes_with_any_leaf() -> None:
+    base = MerkleTree(_leaves(16)).root
+    for i in range(16):
+        leaves = _leaves(16)
+        leaves[i] = b"tampered"
+        assert MerkleTree(leaves).root != base, i
+
+
+def test_root_known_structure_two_leaves() -> None:
+    """Root = H(0x01 ∥ H(0x00∥a) ∥ H(0x00∥b)) — the exact RFC 6962 shape."""
+    h = get_hash("sha256")
+    a, b = b"a", b"b"
+    expected = h.digest(b"\x01" + h.digest(b"\x00" + a) + h.digest(b"\x00" + b))
+    assert MerkleTree([a, b]).root == expected
+
+
+def test_leaf_node_domain_separation() -> None:
+    """A leaf equal to an interior node's preimage must not collide."""
+    h = get_hash("sha256")
+    a, b = b"x", b"y"
+    inner_preimage = h.digest(b"\x00" + a) + h.digest(b"\x00" + b)
+    tree_two = MerkleTree([a, b])
+    tree_fake = MerkleTree([inner_preimage])
+    assert tree_two.root != tree_fake.root
+
+
+def test_path_length_is_logarithmic() -> None:
+    tree = MerkleTree(_leaves(1024))
+    assert tree.height == 10
+    assert len(tree.path(0).siblings) == 10
+    assert len(tree.path(777).siblings) == 10
+
+
+def test_path_wire_size() -> None:
+    tree = MerkleTree(_leaves(16))
+    path = tree.path(3)
+    assert path.wire_size() == 4 + 4 * 32 + 1
+
+
+def test_odd_tree_paths_shorter_on_promoted_branch() -> None:
+    tree = MerkleTree(_leaves(5))
+    # leaf 4 is promoted twice; its path skips those levels
+    assert len(tree.path(4).siblings) < len(tree.path(0).siblings) + 1
+    assert verify_merkle_path(_leaves(5)[4], tree.path(4), tree.root)
+
+
+def test_single_leaf_tree() -> None:
+    tree = MerkleTree([b"only"])
+    assert tree.height == 0
+    path = tree.path(0)
+    assert path.siblings == ()
+    assert verify_merkle_path(b"only", path, tree.root)
+
+
+def test_validation() -> None:
+    with pytest.raises(ParameterError):
+        MerkleTree([])
+    tree = MerkleTree(_leaves(4))
+    with pytest.raises(ParameterError):
+        tree.path(4)
+    with pytest.raises(ParameterError):
+        tree.leaf_digest(99)
+    with pytest.raises(ParameterError):
+        MerklePath(leaf_index=0, siblings=(b"x",), directions=())
+
+
+def test_leaf_digest_accessor() -> None:
+    h = get_hash("sha256")
+    tree = MerkleTree(_leaves(4))
+    assert tree.leaf_digest(2) == h.digest(b"\x00" + b"value-2")

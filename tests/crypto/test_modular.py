@@ -1,0 +1,116 @@
+"""Number-theory primitives: egcd, inverses, modexp, CRT."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.crypto.modular import (
+    crt_pair,
+    egcd,
+    lcm,
+    modadd,
+    modexp,
+    modinv,
+    modmul,
+)
+from repro.crypto.modular import modexp_reference
+from repro.errors import ParameterError
+
+
+@pytest.mark.parametrize("a,b", [(240, 46), (0, 5), (5, 0), (1, 1), (17, 17), (-240, 46), (240, -46)])
+def test_egcd_bezout_identity(a: int, b: int) -> None:
+    g, x, y = egcd(a, b)
+    assert g == math.gcd(a, b)
+    assert a * x + b * y == g
+
+
+def test_egcd_randomized() -> None:
+    rng = random.Random(7)
+    for _ in range(200):
+        a = rng.getrandbits(128)
+        b = rng.getrandbits(128)
+        g, x, y = egcd(a, b)
+        assert g == math.gcd(a, b) and a * x + b * y == g
+
+
+def test_modinv_against_builtin_pow() -> None:
+    rng = random.Random(8)
+    p = (1 << 127) - 1  # Mersenne prime
+    for _ in range(100):
+        a = rng.randrange(1, p)
+        inverse = modinv(a, p)
+        assert inverse == pow(a, -1, p)
+        assert (a * inverse) % p == 1
+
+
+def test_modinv_nonexistent() -> None:
+    with pytest.raises(ParameterError):
+        modinv(6, 9)  # gcd = 3
+    with pytest.raises(ParameterError):
+        modinv(0, 7)
+
+
+def test_modinv_negative_and_large_inputs() -> None:
+    p = 101
+    assert (modinv(-3 % p, p) * -3) % p == 1
+    assert (modinv(3 + 5 * p, p) * 3) % p == 1
+
+
+def test_modinv_bad_modulus() -> None:
+    with pytest.raises(ParameterError):
+        modinv(3, 1)
+    with pytest.raises(ParameterError):
+        modinv(3, 0)
+
+
+def test_modexp_matches_reference_and_pow() -> None:
+    rng = random.Random(9)
+    for _ in range(50):
+        base = rng.getrandbits(64)
+        exp = rng.getrandbits(16)
+        mod = rng.getrandbits(64) | 1
+        expected = pow(base, exp, mod)
+        assert modexp(base, exp, mod) == expected
+        assert modexp_reference(base, exp, mod) == expected
+
+
+def test_modexp_negative_exponent_uses_inverse() -> None:
+    p = 1009
+    assert modexp(5, -1, p) == modinv(5, p)
+    assert (modexp(5, -3, p) * pow(5, 3, p)) % p == 1
+
+
+def test_modexp_invalid_modulus() -> None:
+    with pytest.raises(ParameterError):
+        modexp(2, 3, 0)
+    with pytest.raises(ParameterError):
+        modexp_reference(2, -1, 5)
+
+
+def test_modadd_modmul() -> None:
+    assert modadd(7, 8, 10) == 5
+    assert modmul(7, 8, 10) == 6
+    assert modadd(-1, 0, 10) == 9
+
+
+def test_lcm() -> None:
+    assert lcm(4, 6) == 12
+    assert lcm(0, 5) == 0
+    assert lcm(7, 7) == 7
+    assert lcm(2**64, 3) == 3 * 2**64
+
+
+def test_crt_pair_reconstruction() -> None:
+    rng = random.Random(10)
+    m1, m2 = 10007, 10009
+    for _ in range(50):
+        x = rng.randrange(m1 * m2)
+        assert crt_pair(x % m1, m1, x % m2, m2) == x
+
+
+def test_crt_pair_requires_coprime_moduli() -> None:
+    with pytest.raises(ParameterError):
+        crt_pair(1, 6, 2, 9)

@@ -1,0 +1,78 @@
+"""Paillier: correctness and the additive homomorphism."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.paillier import generate_paillier_keypair
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_paillier_keypair(bits=256, rng=random.Random(1))
+
+
+def test_roundtrip(keypair) -> None:
+    rng = random.Random(2)
+    for _ in range(20):
+        m = rng.randrange(keypair.public.n)
+        c = keypair.public.encrypt(m, rng)
+        assert keypair.decrypt(c) == m
+
+
+def test_encryption_is_probabilistic(keypair) -> None:
+    rng = random.Random(3)
+    c1 = keypair.public.encrypt(42, rng)
+    c2 = keypair.public.encrypt(42, rng)
+    assert c1 != c2
+    assert keypair.decrypt(c1) == keypair.decrypt(c2) == 42
+
+
+def test_additive_homomorphism(keypair) -> None:
+    rng = random.Random(4)
+    n = keypair.public.n
+    for _ in range(10):
+        a, b = rng.randrange(n), rng.randrange(n)
+        combined = keypair.public.add(
+            keypair.public.encrypt(a, rng), keypair.public.encrypt(b, rng)
+        )
+        assert keypair.decrypt(combined) == (a + b) % n
+
+
+def test_add_plain_and_scale(keypair) -> None:
+    rng = random.Random(5)
+    c = keypair.public.encrypt(100, rng)
+    assert keypair.decrypt(keypair.public.add_plain(c, 23)) == 123
+    assert keypair.decrypt(keypair.public.scale(c, 7)) == 700
+    assert keypair.decrypt(keypair.public.scale(c, 0)) == 0
+
+
+def test_many_party_sum(keypair) -> None:
+    """The Ge&Zdonik ODB use: the provider sums ciphertext rows."""
+    rng = random.Random(6)
+    values = [rng.randrange(1000) for _ in range(50)]
+    aggregate = keypair.public.encrypt(values[0], rng)
+    for v in values[1:]:
+        aggregate = keypair.public.add(aggregate, keypair.public.encrypt(v, rng))
+    assert keypair.decrypt(aggregate) == sum(values)
+
+
+def test_input_validation(keypair) -> None:
+    with pytest.raises(ParameterError):
+        keypair.public.encrypt(-1)
+    with pytest.raises(ParameterError):
+        keypair.public.encrypt(keypair.public.n)
+    with pytest.raises(ParameterError):
+        keypair.public.scale(5, -1)
+    with pytest.raises(ParameterError):
+        keypair.decrypt(keypair.public.n_squared)
+
+
+def test_keygen_validation() -> None:
+    with pytest.raises(ParameterError):
+        generate_paillier_keypair(bits=32)
+    with pytest.raises(ParameterError):
+        generate_paillier_keypair(bits=255)

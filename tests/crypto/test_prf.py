@@ -1,0 +1,75 @@
+"""The HMAC-based PRF layer (epoch encoding, int outputs, expansion)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.hmac import HM1, HM256
+from repro.crypto.prf import PRF, encode_epoch
+from repro.errors import ParameterError
+
+
+def test_epoch_encoding_is_canonical_and_injective() -> None:
+    assert encode_epoch(0) == b"\x00" * 8
+    assert encode_epoch(1) == b"\x00" * 7 + b"\x01"
+    assert len({encode_epoch(t) for t in range(200)}) == 200
+
+
+def test_epoch_bounds() -> None:
+    encode_epoch((1 << 64) - 1)
+    with pytest.raises(ParameterError):
+        encode_epoch(1 << 64)
+    with pytest.raises(ParameterError):
+        encode_epoch(-1)
+
+
+def test_at_epoch_matches_paper_formula() -> None:
+    key = b"\x42" * 20
+    prf1 = PRF(key, "sha1")
+    prf256 = PRF(key, "sha256")
+    # K_t = HM256(K, t); ss_t = HM1(k, t) — exactly the paper's derivations.
+    assert prf256.at_epoch(7) == HM256(key, encode_epoch(7))
+    assert prf1.at_epoch(7) == HM1(key, encode_epoch(7))
+    assert prf1.output_size == 20
+    assert prf256.output_size == 32
+
+
+def test_int_at_epoch_with_and_without_modulus() -> None:
+    prf = PRF(b"k" * 20, "sha256")
+    raw = prf.int_at_epoch(3)
+    assert 0 <= raw < 1 << 256
+    assert prf.int_at_epoch(3, modulus=97) == raw % 97
+
+
+def test_different_epochs_give_independent_outputs() -> None:
+    prf = PRF(b"k" * 20, "sha1")
+    outputs = {prf.at_epoch(t) for t in range(100)}
+    assert len(outputs) == 100
+
+
+def test_expand_lengths_and_determinism() -> None:
+    prf = PRF(b"k" * 20, "sha256")
+    for length in (1, 31, 32, 33, 100):
+        out = prf.expand(b"ctx", length)
+        assert len(out) == length
+        assert out == prf.expand(b"ctx", length)
+    # prefix property: longer expansions extend shorter ones
+    assert prf.expand(b"ctx", 100)[:32] == prf.expand(b"ctx", 32)
+
+
+def test_derive_key_domain_separation() -> None:
+    prf = PRF(b"k" * 20, "sha256")
+    assert prf.derive_key("a") != prf.derive_key("b")
+    assert len(prf.derive_key("a", 20)) == 20
+    assert len(prf.derive_key("a", 64)) == 64
+
+
+def test_empty_key_rejected() -> None:
+    with pytest.raises(ParameterError):
+        PRF(b"")
+
+
+def test_modulus_must_be_positive() -> None:
+    prf = PRF(b"k")
+    with pytest.raises(ParameterError):
+        prf.int_at_epoch(1, modulus=0)

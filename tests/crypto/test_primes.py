@@ -1,0 +1,96 @@
+"""Miller–Rabin and prime generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.primes import SMALL_PRIMES, is_probable_prime, next_prime, random_prime
+from repro.errors import ParameterError
+
+# sympy-style reference list of primes under 200.
+PRIMES_UNDER_200 = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+]
+
+# Carmichael numbers — the classic Fermat-test killers.
+CARMICHAEL = [561, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841, 29341]
+
+# Known large primes.
+MERSENNE_127 = (1 << 127) - 1
+LARGE_PRIME_256 = next_prime(1 << 255)
+
+
+def test_small_primes_table() -> None:
+    assert SMALL_PRIMES[0] == 2
+    assert SMALL_PRIMES[-1] == 997
+    assert all(is_probable_prime(p) for p in SMALL_PRIMES)
+
+
+def test_exhaustive_under_200() -> None:
+    classified = [n for n in range(200) if is_probable_prime(n)]
+    assert classified == PRIMES_UNDER_200
+
+
+@pytest.mark.parametrize("n", CARMICHAEL)
+def test_rejects_carmichael_numbers(n: int) -> None:
+    assert not is_probable_prime(n)
+
+
+def test_known_large_primes() -> None:
+    assert is_probable_prime(MERSENNE_127)
+    assert not is_probable_prime(MERSENNE_127 + 2)
+    assert is_probable_prime(LARGE_PRIME_256)
+
+
+def test_rejects_products_of_large_primes() -> None:
+    rng = random.Random(3)
+    p = random_prime(128, rng)
+    q = random_prime(128, rng)
+    assert not is_probable_prime(p * q)
+    assert not is_probable_prime(p * p)
+
+
+def test_edge_cases() -> None:
+    assert not is_probable_prime(-7)
+    assert not is_probable_prime(0)
+    assert not is_probable_prime(1)
+    assert is_probable_prime(2)
+
+
+def test_next_prime_basics() -> None:
+    assert next_prime(0) == 2
+    assert next_prime(2) == 3
+    assert next_prime(3) == 5
+    assert next_prime(13) == 17
+    assert next_prime(14) == 17
+
+
+def test_next_prime_is_strictly_greater_and_minimal() -> None:
+    for n in (100, 1000, 2**32):
+        p = next_prime(n)
+        assert p > n and is_probable_prime(p)
+        assert all(not is_probable_prime(m) for m in range(n + 1, p))
+
+
+def test_next_prime_sies_modulus_size() -> None:
+    # The SIES modulus: smallest prime above 2^255 has 256 bits (32 bytes).
+    p = next_prime(1 << 255)
+    assert p.bit_length() == 256
+
+
+def test_random_prime_bit_length_and_distribution() -> None:
+    rng = random.Random(4)
+    primes = {random_prime(64, rng) for _ in range(10)}
+    assert len(primes) == 10  # no repeats at this size
+    assert all(p.bit_length() == 64 and p % 2 == 1 for p in primes)
+
+
+def test_random_prime_rejects_tiny_requests() -> None:
+    with pytest.raises(ParameterError):
+        random_prime(1, random.Random(0))
+    with pytest.raises(ParameterError):
+        random_prime(0, random.Random(0))

@@ -1,0 +1,103 @@
+"""RSA keygen and the raw operations SEALs depend on."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.primes import is_probable_prime
+from repro.crypto.rsa import RSAPublicKey, generate_rsa_keypair
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_rsa_keypair(512, rng=random.Random(1), public_exponent=65537)
+
+
+@pytest.fixture(scope="module")
+def keypair_e3():
+    return generate_rsa_keypair(512, rng=random.Random(2), public_exponent=3)
+
+
+def test_keypair_structure(keypair) -> None:
+    assert keypair.public.n == keypair.p * keypair.q
+    assert keypair.public.n.bit_length() == 512
+    assert keypair.public.modulus_bytes == 64
+    assert is_probable_prime(keypair.p) and is_probable_prime(keypair.q)
+    assert keypair.p != keypair.q
+    # d inverts e modulo phi
+    phi = (keypair.p - 1) * (keypair.q - 1)
+    assert (keypair.d * keypair.public.e) % phi == 1
+
+
+def test_encrypt_decrypt_roundtrip(keypair) -> None:
+    rng = random.Random(11)
+    for _ in range(20):
+        m = rng.randrange(keypair.public.n)
+        assert keypair.decrypt(keypair.public.encrypt(m)) == m
+
+
+def test_small_exponent_roundtrip(keypair_e3) -> None:
+    rng = random.Random(12)
+    for _ in range(20):
+        m = rng.randrange(keypair_e3.public.n)
+        assert keypair_e3.decrypt(keypair_e3.public.encrypt(m)) == m
+
+
+def test_multiplicative_homomorphism(keypair) -> None:
+    """E(a)·E(b) mod n = E(a·b mod n) — what makes SEAL folding work."""
+    n = keypair.public.n
+    rng = random.Random(13)
+    for _ in range(10):
+        a, b = rng.randrange(n), rng.randrange(n)
+        lhs = (keypair.public.encrypt(a) * keypair.public.encrypt(b)) % n
+        assert lhs == keypair.public.encrypt((a * b) % n)
+
+
+def test_encrypt_iterated_is_function_iteration(keypair_e3) -> None:
+    pub = keypair_e3.public
+    m = 123456789
+    assert pub.encrypt_iterated(m, 0) == m
+    assert pub.encrypt_iterated(m, 1) == pub.encrypt(m)
+    assert pub.encrypt_iterated(m, 4) == pub.encrypt(pub.encrypt(pub.encrypt(pub.encrypt(m))))
+
+
+def test_iterated_encryption_commutes_with_folding(keypair_e3) -> None:
+    """E^k(a)·E^k(b) = E^k(a·b) — roll-then-fold equals fold-then-roll."""
+    pub = keypair_e3.public
+    a, b, k = 999, 888, 5
+    rolled_then_folded = (pub.encrypt_iterated(a, k) * pub.encrypt_iterated(b, k)) % pub.n
+    folded_then_rolled = pub.encrypt_iterated((a * b) % pub.n, k)
+    assert rolled_then_folded == folded_then_rolled
+
+
+def test_plaintext_range_validation(keypair) -> None:
+    with pytest.raises(ParameterError):
+        keypair.public.encrypt(-1)
+    with pytest.raises(ParameterError):
+        keypair.public.encrypt(keypair.public.n)
+    with pytest.raises(ParameterError):
+        keypair.public.encrypt_iterated(5, -1)
+    with pytest.raises(ParameterError):
+        keypair.decrypt(keypair.public.n)
+
+
+def test_keygen_validation() -> None:
+    with pytest.raises(ParameterError):
+        generate_rsa_keypair(32)  # too small
+    with pytest.raises(ParameterError):
+        generate_rsa_keypair(511)  # odd bit count
+
+
+def test_deterministic_keygen_with_seeded_rng() -> None:
+    k1 = generate_rsa_keypair(256, rng=random.Random(99))
+    k2 = generate_rsa_keypair(256, rng=random.Random(99))
+    assert k1.public == k2.public and k1.d == k2.d
+
+
+def test_public_key_is_frozen(keypair) -> None:
+    with pytest.raises(AttributeError):
+        keypair.public.n = 1  # type: ignore[misc]
+    assert isinstance(keypair.public, RSAPublicKey)

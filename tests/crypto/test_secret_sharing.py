@@ -1,0 +1,78 @@
+"""Additive N-out-of-N secret sharing (paper Section III-D)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.secret_sharing import AdditiveSecretSharing, reconstruct
+from repro.errors import ParameterError
+
+
+def test_split_and_combine_integers() -> None:
+    dealer = AdditiveSecretSharing(parties=5, share_bits=64)
+    rng = random.Random(1)
+    for _ in range(20):
+        secret = rng.getrandbits(60)
+        shares = dealer.split(secret, rng)
+        assert len(shares) == 5
+        assert dealer.combine(shares) == secret
+
+
+def test_split_and_combine_modular() -> None:
+    dealer = AdditiveSecretSharing(parties=7, modulus=10007)
+    rng = random.Random(2)
+    for _ in range(20):
+        secret = rng.randrange(10007)
+        shares = dealer.split(secret, rng)
+        assert all(0 <= s < 10007 for s in shares)
+        assert dealer.combine(shares) == secret
+
+
+def test_single_party_degenerate_case() -> None:
+    dealer = AdditiveSecretSharing(parties=1)
+    assert dealer.split(42, random.Random(0)) == [42]
+    assert dealer.combine([42]) == 42
+
+
+def test_missing_share_gives_no_information_statistically() -> None:
+    """Without the last share, partial sums are uniform-ish: two different
+    secrets produce identically-distributed N-1 share prefixes."""
+    dealer = AdditiveSecretSharing(parties=3, modulus=101)
+    rng = random.Random(3)
+    prefix_sums_a = sorted(sum(dealer.split(10, rng)[:2]) % 101 for _ in range(300))
+    prefix_sums_b = sorted(sum(dealer.split(90, rng)[:2]) % 101 for _ in range(300))
+    # crude distributional check: similar spread across the field
+    assert len(set(prefix_sums_a)) > 70 and len(set(prefix_sums_b)) > 70
+
+
+def test_combine_requires_all_shares() -> None:
+    dealer = AdditiveSecretSharing(parties=4)
+    shares = dealer.split(99, random.Random(4))
+    with pytest.raises(ParameterError):
+        dealer.combine(shares[:3])
+    with pytest.raises(ParameterError):
+        dealer.combine(shares + [0])
+
+
+def test_reconstruct_function() -> None:
+    assert reconstruct([1, 2, 3]) == 6
+    assert reconstruct([5, 6], modulus=7) == 4
+    assert reconstruct([]) == 0
+
+
+def test_sies_style_prf_shares_sum() -> None:
+    """The implicit-dealer pattern SIES uses: the secret is *defined* as
+    the sum of independently generated shares."""
+    shares = [random.Random(i).getrandbits(160) for i in range(10)]
+    assert reconstruct(shares) == sum(shares)
+
+
+def test_constructor_validation() -> None:
+    with pytest.raises(ParameterError):
+        AdditiveSecretSharing(parties=0)
+    with pytest.raises(ParameterError):
+        AdditiveSecretSharing(parties=2, modulus=1)
+    with pytest.raises(ParameterError):
+        AdditiveSecretSharing(parties=2, share_bits=0)

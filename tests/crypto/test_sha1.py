@@ -1,0 +1,63 @@
+"""Pure-Python SHA-1 against FIPS vectors and hashlib."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.crypto.sha1 import SHA1, sha1_digest
+
+# FIPS 180-4 / RFC 3174 test vectors.
+KNOWN_VECTORS = [
+    (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+    (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+    (
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+    ),
+    (b"a" * 1_000_000, "34aa973cd4c4daa4f61eeb2bdbad27316534016f"),
+]
+
+
+@pytest.mark.parametrize("message,expected", KNOWN_VECTORS, ids=["empty", "abc", "two-block", "million-a"])
+def test_fips_vectors(message: bytes, expected: str) -> None:
+    assert sha1_digest(message).hex() == expected
+
+
+@pytest.mark.parametrize("length", list(range(0, 130)) + [255, 256, 257, 1000, 4096])
+def test_matches_hashlib_at_every_block_boundary(length: int) -> None:
+    data = bytes((i * 7 + length) % 256 for i in range(length))
+    assert sha1_digest(data) == hashlib.sha1(data).digest()
+
+
+def test_incremental_updates_equal_one_shot() -> None:
+    chunks = [b"x" * 3, b"y" * 61, b"z" * 64, b"", b"w" * 129]
+    h = SHA1()
+    for chunk in chunks:
+        h.update(chunk)
+    assert h.digest() == sha1_digest(b"".join(chunks))
+
+
+def test_digest_does_not_finalize_state() -> None:
+    h = SHA1(b"hello")
+    first = h.digest()
+    assert h.digest() == first  # digest() must be repeatable
+    h.update(b" world")
+    assert h.digest() == sha1_digest(b"hello world")
+
+
+def test_copy_is_independent() -> None:
+    h = SHA1(b"shared prefix ")
+    clone = h.copy()
+    h.update(b"left")
+    clone.update(b"right")
+    assert h.digest() == sha1_digest(b"shared prefix left")
+    assert clone.digest() == sha1_digest(b"shared prefix right")
+
+
+def test_metadata() -> None:
+    assert SHA1.digest_size == 20
+    assert SHA1.block_size == 64
+    assert len(sha1_digest(b"x")) == 20
+    assert SHA1(b"x").hexdigest() == hashlib.sha1(b"x").hexdigest()

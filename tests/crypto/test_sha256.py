@@ -1,0 +1,61 @@
+"""Pure-Python SHA-256 against FIPS vectors and hashlib."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.crypto.sha256 import SHA256, sha256_digest
+
+KNOWN_VECTORS = [
+    (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+    (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+    ),
+    (b"a" * 1_000_000, "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"),
+]
+
+
+@pytest.mark.parametrize("message,expected", KNOWN_VECTORS, ids=["empty", "abc", "two-block", "million-a"])
+def test_fips_vectors(message: bytes, expected: str) -> None:
+    assert sha256_digest(message).hex() == expected
+
+
+@pytest.mark.parametrize("length", list(range(0, 130)) + [255, 256, 257, 1000, 4096])
+def test_matches_hashlib_at_every_block_boundary(length: int) -> None:
+    data = bytes((i * 13 + length) % 256 for i in range(length))
+    assert sha256_digest(data) == hashlib.sha256(data).digest()
+
+
+def test_incremental_updates_equal_one_shot() -> None:
+    chunks = [b"x" * 55, b"y" * 9, b"z" * 64, b"", b"w" * 200]
+    h = SHA256()
+    for chunk in chunks:
+        h.update(chunk)
+    assert h.digest() == sha256_digest(b"".join(chunks))
+
+
+def test_digest_is_repeatable_and_resumable() -> None:
+    h = SHA256(b"hello")
+    first = h.digest()
+    assert h.digest() == first
+    h.update(b" world")
+    assert h.digest() == sha256_digest(b"hello world")
+
+
+def test_copy_is_independent() -> None:
+    h = SHA256(b"prefix|")
+    clone = h.copy()
+    h.update(b"a")
+    clone.update(b"b")
+    assert h.digest() != clone.digest()
+    assert clone.digest() == sha256_digest(b"prefix|b")
+
+
+def test_metadata() -> None:
+    assert SHA256.digest_size == 32
+    assert SHA256.block_size == 64
+    assert len(sha256_digest(b"x")) == 32

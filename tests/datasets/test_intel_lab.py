@@ -1,0 +1,98 @@
+"""The synthetic Intel-Lab-style temperature generator."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.datasets.intel_lab import IntelLabSynthesizer, TemperatureReading
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def synth() -> IntelLabSynthesizer:
+    return IntelLabSynthesizer(num_motes=32, seed=7)
+
+
+def test_readings_in_paper_range(synth: IntelLabSynthesizer) -> None:
+    for mote in range(32):
+        for epoch in range(0, 200, 7):
+            reading = synth.reading(mote, epoch)
+            assert 18.0 <= reading.temperature_c <= 50.0
+
+
+def test_four_decimal_precision(synth: IntelLabSynthesizer) -> None:
+    """The paper: floats 'with precision of four decimal digits'."""
+    for mote in range(10):
+        value = synth.reading(mote, 3).temperature_c
+        assert round(value, 4) == value
+
+
+def test_deterministic_given_seed() -> None:
+    a = IntelLabSynthesizer(8, seed=1)
+    b = IntelLabSynthesizer(8, seed=1)
+    c = IntelLabSynthesizer(8, seed=2)
+    assert [a.reading(m, 5).temperature_c for m in range(8)] == [
+        b.reading(m, 5).temperature_c for m in range(8)
+    ]
+    assert [a.reading(m, 5).temperature_c for m in range(8)] != [
+        c.reading(m, 5).temperature_c for m in range(8)
+    ]
+
+
+def test_stateless_random_access(synth: IntelLabSynthesizer) -> None:
+    """reading(m, t) must not depend on query order."""
+    forward = [synth.reading(0, t).temperature_c for t in range(10)]
+    backward = [synth.reading(0, t).temperature_c for t in reversed(range(10))]
+    assert forward == list(reversed(backward))
+
+
+def test_motes_have_distinct_characteristics(synth: IntelLabSynthesizer) -> None:
+    snapshot = [r.temperature_c for r in synth.epoch_snapshot(0)]
+    assert len(set(snapshot)) > 25  # biases/phases separate the motes
+
+
+def test_temporal_smoothness(synth: IntelLabSynthesizer) -> None:
+    """Real sensor traces are smooth: consecutive deltas are much
+    smaller than the overall range."""
+    trace = [r.temperature_c for r in synth.trace(3, 96)]
+    deltas = [abs(a - b) for a, b in zip(trace, trace[1:])]
+    assert statistics.fmean(deltas) < 3.0
+    assert max(trace) - min(trace) > 1.0  # but not constant either
+
+
+def test_diurnal_cycle_repeats_approximately(synth: IntelLabSynthesizer) -> None:
+    day = synth.epochs_per_day
+    a = [r.temperature_c for r in synth.trace(5, 8)]
+    b = [synth.reading(5, t + day).temperature_c for t in range(8)]
+    # same phase of the cycle, different noise: correlated but not equal.
+    # The AR(1) noise has stationary sigma = 0.15 * span = 2.4 degC, so
+    # same-phase readings a day apart should differ well below the
+    # diurnal amplitude (~5.6 degC on average for this mote set).
+    assert a != b
+    assert statistics.fmean(abs(x - y) for x, y in zip(a, b)) < 8.0
+
+
+def test_trace_and_snapshot_shapes(synth: IntelLabSynthesizer) -> None:
+    trace = synth.trace(2, 5, start_epoch=10)
+    assert len(trace) == 5
+    assert [r.epoch for r in trace] == list(range(10, 15))
+    assert all(isinstance(r, TemperatureReading) and r.mote_id == 2 for r in trace)
+    assert len(synth.epoch_snapshot(0)) == 32
+
+
+def test_validation() -> None:
+    with pytest.raises(DatasetError):
+        IntelLabSynthesizer(4, low_c=50, high_c=18)
+    synth = IntelLabSynthesizer(4)
+    with pytest.raises(DatasetError):
+        synth.reading(4, 0)
+    with pytest.raises(Exception):
+        synth.reading(0, -1)
+
+
+def test_custom_range_respected() -> None:
+    synth = IntelLabSynthesizer(4, seed=3, low_c=0.0, high_c=10.0)
+    for epoch in range(50):
+        assert 0.0 <= synth.reading(1, epoch).temperature_c <= 10.0

@@ -1,0 +1,85 @@
+"""Domain-scaled workloads (the paper's value-generation discipline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.intel_lab import IntelLabSynthesizer
+from repro.datasets.workload import (
+    DomainScaledWorkload,
+    UniformWorkload,
+    domain_for_scale,
+)
+from repro.errors import DatasetError
+
+
+def test_domain_for_scale_matches_table_iv() -> None:
+    assert domain_for_scale(1) == (18, 50)
+    assert domain_for_scale(10) == (180, 500)
+    assert domain_for_scale(100) == (1800, 5000)
+    assert domain_for_scale(10000) == (180000, 500000)
+
+
+def test_values_are_scaled_truncated_readings() -> None:
+    workload = DomainScaledWorkload(8, scale=100, seed=3)
+    for source in range(8):
+        raw = workload.raw_celsius(source, 5)
+        assert workload(source, 5) == int(raw * 100)
+
+
+def test_values_within_scaled_domain() -> None:
+    workload = DomainScaledWorkload(16, scale=1000, seed=4)
+    for source in range(16):
+        for epoch in range(10):
+            assert 18000 <= workload(source, epoch) <= 50000
+
+
+def test_scale_1_loses_decimals() -> None:
+    workload = DomainScaledWorkload(4, scale=1, seed=5)
+    values = {workload(s, e) for s in range(4) for e in range(20)}
+    assert values <= set(range(18, 51))
+
+
+def test_predicate_sends_zero() -> None:
+    """Sources failing WHERE 'simply transmit 0' (Section III-B)."""
+    workload = DomainScaledWorkload(
+        8, scale=100, seed=6,
+        predicate=lambda sid, epoch, celsius: celsius >= 30.0,
+    )
+    saw_zero = saw_value = False
+    for source in range(8):
+        for epoch in range(20):
+            value = workload(source, epoch)
+            raw = workload.raw_celsius(source, epoch)
+            if raw >= 30.0:
+                assert value == int(raw * 100)
+                saw_value = True
+            else:
+                assert value == 0
+                saw_zero = True
+    assert saw_zero and saw_value
+
+
+def test_max_possible_sum() -> None:
+    workload = DomainScaledWorkload(100, scale=100, seed=7)
+    assert workload.max_possible_sum() == 5000 * 100
+
+
+def test_shared_synthesizer() -> None:
+    synth = IntelLabSynthesizer(8, seed=8)
+    a = DomainScaledWorkload(8, scale=10, synthesizer=synth)
+    b = DomainScaledWorkload(8, scale=10, synthesizer=synth)
+    assert a(3, 1) == b(3, 1)
+    with pytest.raises(DatasetError):
+        DomainScaledWorkload(16, synthesizer=synth)  # too few motes
+
+
+def test_uniform_workload() -> None:
+    workload = UniformWorkload(4, 10, 20, seed=9)
+    assert all(10 <= workload(s, e) <= 20 for s in range(4) for e in range(50))
+    assert workload(1, 2) == workload(1, 2)  # deterministic
+    assert workload.max_possible_sum() == 80
+    with pytest.raises(DatasetError):
+        UniformWorkload(4, 20, 10)
+    with pytest.raises(DatasetError):
+        UniformWorkload(4, -5, 10)

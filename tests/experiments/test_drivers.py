@@ -1,0 +1,122 @@
+"""Experiment drivers at smoke scale: structure + paper-shape assertions.
+
+Each driver runs with reduced parameters (small J, few epochs) so the
+whole module stays under a minute; the assertions are the *shape*
+claims of Section VI, which must hold at any scale:
+
+* SIES ≈ CMT within a small factor; SECOA_S orders of magnitude above;
+* SIES/CMT flat in D; SECOA_S model cost growing with D;
+* everything linear in F (aggregator) and N (querier);
+* 20/32-byte constant messages vs tens-of-KB SECOA_S edges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig4, fig5, fig6a, fig6b, table2, table3, table5
+from repro.experiments.reporting import render_report
+
+J = 10  # smoke-scale sketch count
+
+
+@pytest.fixture(scope="module")
+def fig4_report():
+    return fig4.run(
+        scales=(1, 100), num_sketches=J, fast_epochs=3, fast_sources=2, secoa_epochs=1
+    )
+
+
+@pytest.fixture(scope="module")
+def fig5_report():
+    return fig5.run(fanouts=(2, 4, 6), num_sketches=J, fast_epochs=5, secoa_epochs=1)
+
+
+@pytest.fixture(scope="module")
+def fig6a_report():
+    return fig6a.run(source_counts=(64, 256), num_sketches=J, fast_epochs=2, secoa_epochs=1)
+
+
+def test_table2_reports_all_constants() -> None:
+    report = table2.run(repeat=2, inner_loops=20)
+    assert len(report.rows) == 9 + 3  # constants + sizes
+    assert "C_RSA" in {row[0] for row in report.rows}
+    assert render_report(report)
+
+
+def test_table3_model_matches_paper_within_2pct() -> None:
+    report = table3.run()
+    errors = report.data["relative_errors"]
+    # all rows except the two documented paper inconsistencies
+    for key, err in errors.items():
+        if key in ("Comput. cost at S/cmt", "Comput. cost at S/sies",
+                   "Commun. cost A-Q/secoa_max", "Comput. cost at Q/secoa_max"):
+            continue
+        assert err < 0.02, (key, err)
+
+
+def test_table5_actuals_match_models() -> None:
+    report = table5.run(num_sources=64, num_sketches=J, epochs=3)
+    edges = report.data["edges"]
+    assert edges["S-A"]["sies"] == 32.0
+    assert edges["S-A"]["cmt"] == 20.0
+    assert edges["S-A"]["secoa_actual"] == J * 1 + J * 128 + 20
+    # the sink's folded A-Q message sits inside the model envelope
+    assert edges["A-Q"]["secoa_min"] <= edges["A-Q"]["secoa_actual"] <= edges["A-Q"]["secoa_max"]
+    assert 1 <= min(report.data["seals_counts"])
+
+
+def test_fig4_shapes(fig4_report) -> None:
+    series = fig4_report.data["series"]
+    # SIES and CMT flat in D (within noise)
+    assert max(series["sies"]) < 4 * min(series["sies"])
+    assert max(series["cmt"]) < 4 * min(series["cmt"])
+    # SECOA_S per-item measurement grows with the domain
+    pi = [v for v in series["secoa_pi"] if v is not None]
+    assert len(pi) == 2 and pi[1] > 5 * pi[0]
+    # SECOA_S at least an order of magnitude above SIES even at J=10
+    assert series["secoa_model_min"][1] > 10 * max(series["sies"])
+    # measured per-item points sit within (or near) the model envelope
+    assert pi[1] == pytest.approx(
+        (series["secoa_model_min"][1] + series["secoa_model_max"][1]) / 2,
+        rel=1.0,
+    )
+
+
+def test_fig5_shapes(fig5_report) -> None:
+    series = fig5_report.data["series"]
+    # linear-ish growth in F for SECOA (model exactly linear)
+    assert series["secoa_model_min"][-1] > series["secoa_model_min"][0]
+    assert series["secoa"][-1] > series["secoa"][0]
+    # SIES stays within a few microseconds (paper: 0.3-2 us + interpreter overhead)
+    assert max(series["sies"]) < 100e-6
+    # SECOA well above SIES
+    assert min(series["secoa"]) > 10 * max(series["sies"])
+
+
+def test_fig6a_shapes(fig6a_report) -> None:
+    series = fig6a_report.data["series"]
+    # querier cost grows ~linearly with N for every scheme
+    assert series["sies"][1] > 2 * series["sies"][0]
+    assert series["cmt"][1] > 2 * series["cmt"][0]
+    assert series["secoa"][1] > 2 * series["secoa"][0]
+    # SIES measured within 2x of its own model (the paper: within 0.1%)
+    for measured, modeled in zip(series["sies"], series["sies_model"]):
+        assert measured == pytest.approx(modeled, rel=1.0)
+    # SECOA well above SIES (the paper's >10x gap needs J=300; at the
+    # smoke scale J=10 the gap shrinks by ~J/300 — require a clear
+    # multiple here, and the full factor in the paper-profile benchmark)
+    assert series["secoa"][0] > 3 * series["sies"][0]
+
+
+def test_fig6b_flat_in_domain() -> None:
+    report = fig6b.run(scales=(1, 10000), num_sketches=J, fast_epochs=2, secoa_epochs=1)
+    series = report.data["series"]
+    assert max(series["sies"]) < 3 * min(series["sies"])
+    assert max(series["secoa"]) < 3 * min(series["secoa"])
+
+
+def test_reports_render(fig4_report, fig5_report, fig6a_report) -> None:
+    for report in (fig4_report, fig5_report, fig6a_report):
+        text = render_report(report)
+        assert report.experiment_id in text

@@ -1,0 +1,44 @@
+"""Extension experiment drivers (scalability, energy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.extension_energy import run as run_energy
+from repro.experiments.extension_scalability import run as run_scalability
+from repro.experiments.reporting import render_report
+
+
+@pytest.fixture(scope="module")
+def energy_report():
+    return run_energy(num_sources=64, num_sketches=8, epochs=2)
+
+
+@pytest.fixture(scope="module")
+def scalability_report():
+    return run_scalability(source_counts=(16, 64))
+
+
+def test_energy_rows_complete(energy_report) -> None:
+    rows = energy_report.data["rows"]
+    assert set(rows) == {"naive collection", "cmt", "sies", "secoa_s"}
+    assert all(hot > 0 and total > 0 for hot, total in rows.values())
+    assert render_report(energy_report)
+
+
+def test_energy_hotspot_argument_holds(energy_report) -> None:
+    """The introduction's argument: in-network aggregation spares the
+    nodes near the sink; the naive hottest node spends far more than the
+    SIES hottest node, and SECOA_S is worst by orders of magnitude."""
+    rows = energy_report.data["rows"]
+    assert rows["naive collection"][0] > 3 * rows["sies"][0]
+    assert rows["secoa_s"][0] > 20 * rows["sies"][0]
+    # SIES pays a constant factor over CMT (32 vs 20 bytes): < 2x
+    assert rows["sies"][0] < 2 * rows["cmt"][0]
+
+
+def test_scalability_structure(scalability_report) -> None:
+    series = scalability_report.data["series"]
+    assert series["sies_max_edge"] == [32.0, 32.0]
+    assert series["ca_max_edge"][1] > series["ca_max_edge"][0]
+    assert render_report(scalability_report)

@@ -1,0 +1,60 @@
+"""Integrity of the transcribed paper reference data."""
+
+from __future__ import annotations
+
+from repro.experiments.paper_data import (
+    SECTION6_PROSE,
+    TABLE2_CONSTANTS_US,
+    TABLE2_SIZES_BYTES,
+    TABLE3_REPORTED,
+    TABLE4_PARAMETERS,
+    TABLE5_REPORTED_BYTES,
+)
+
+
+def test_table2_complete() -> None:
+    assert len(TABLE2_CONSTANTS_US) == 9
+    assert all(v > 0 for v in TABLE2_CONSTANTS_US.values())
+    assert TABLE2_SIZES_BYTES == {"S_sk": 1, "S_inf": 20, "S_SEAL": 128}
+
+
+def test_table3_has_all_six_metrics_and_four_schemes() -> None:
+    assert len(TABLE3_REPORTED) == 6
+    for metric, row in TABLE3_REPORTED.items():
+        assert set(row) == {"cmt", "secoa_min", "secoa_max", "sies"}, metric
+        assert all(v > 0 for v in row.values())
+
+
+def test_table3_internal_orderings() -> None:
+    """Within the paper's own numbers: SIES < SECOA everywhere; the
+    SECOA min never exceeds its max."""
+    for metric, row in TABLE3_REPORTED.items():
+        assert row["secoa_min"] <= row["secoa_max"], metric
+        assert row["sies"] < row["secoa_min"], metric
+
+
+def test_table4_matches_experiment_sweeps() -> None:
+    from repro.experiments.fig4 import PAPER_SCALES
+    from repro.experiments.fig5 import PAPER_FANOUTS
+    from repro.experiments.fig6a import PAPER_SOURCE_COUNTS
+
+    assert TABLE4_PARAMETERS["num_sources"]["range"] == PAPER_SOURCE_COUNTS
+    assert TABLE4_PARAMETERS["fanout"]["range"] == PAPER_FANOUTS
+    assert TABLE4_PARAMETERS["domain_scale"]["range"] == PAPER_SCALES
+    assert TABLE4_PARAMETERS["num_sketches"] == 300
+
+
+def test_table5_consistent_with_table3_where_overlapping() -> None:
+    for edge in ("S-A", "A-A"):
+        assert TABLE5_REPORTED_BYTES[edge]["sies"] == 32
+        assert TABLE5_REPORTED_BYTES[edge]["cmt"] == 20
+        assert TABLE5_REPORTED_BYTES[edge]["secoa_min"] == 38720
+    # actual lies within [min, max] on every edge
+    for edge, row in TABLE5_REPORTED_BYTES.items():
+        assert row["secoa_min"] <= row["secoa_actual"] <= row["secoa_max"], edge
+
+
+def test_prose_claims_present() -> None:
+    assert SECTION6_PROSE["fig4_sies_vs_secoa_min_factor"] == 100
+    lo, hi = SECTION6_PROSE["fig6a_sies_range_s"]
+    assert lo < hi

@@ -1,0 +1,63 @@
+"""ASCII chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.plotting import ascii_chart
+
+
+def test_basic_chart_contains_markers_and_axes() -> None:
+    chart = ascii_chart(
+        ["x1", "x10", "x100"],
+        {"sies": [3e-5, 3e-5, 3e-5], "secoa": [2e-2, 2e-1, 2.0]},
+        title="Fig test",
+        y_unit="s",
+    )
+    assert "Fig test" in chart
+    assert "* = sies" in chart and "o = secoa" in chart
+    assert "x100" in chart
+    assert "log-scale" in chart
+    data_rows = [line.split("|", 1)[1] for line in chart.splitlines() if " |" in line]
+    # flat series: all sies markers on the same row
+    assert sum("*" in row for row in data_rows) == 1
+    # growing series: secoa markers on three different rows
+    assert sum("o" in row for row in data_rows) == 3
+
+
+def test_none_points_skipped() -> None:
+    chart = ascii_chart(["a", "b"], {"s": [1.0, None]})
+    assert chart.count("*") >= 1  # legend + 1 point
+
+
+def test_overlap_marked() -> None:
+    chart = ascii_chart(["a"], {"s1": [1.0], "s2": [1.0]})
+    assert "!" in chart
+
+
+def test_linear_scale_and_bytes_unit() -> None:
+    chart = ascii_chart(["a", "b"], {"s": [32.0, 64.0]}, log_y=False, y_unit="B")
+    assert "log-scale" not in chart
+    assert "B" in chart
+
+
+def test_axis_formatting_ranges() -> None:
+    chart = ascii_chart(["a", "b"], {"s": [5e-9, 5.0]}, y_unit="s")
+    assert "ns" in chart and ("s" in chart)
+
+
+def test_validation() -> None:
+    with pytest.raises(ParameterError):
+        ascii_chart([], {"s": []})
+    with pytest.raises(ParameterError):
+        ascii_chart(["a"], {"s": [1.0, 2.0]})
+    with pytest.raises(ParameterError):
+        ascii_chart(["a"], {"s": [None]})
+    with pytest.raises(ParameterError):
+        ascii_chart(["a"], {"s": [1.0]}, height=2)
+
+
+def test_single_value_degenerate_range() -> None:
+    chart = ascii_chart(["a"], {"s": [1.0]})
+    assert "*" in chart

@@ -1,0 +1,60 @@
+"""ASCII report rendering and formatters."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import (
+    ExperimentReport,
+    format_bytes,
+    format_ratio,
+    format_seconds,
+    render_report,
+)
+
+
+def test_format_seconds_scales() -> None:
+    assert format_seconds(None) == "-"
+    assert format_seconds(0) == "0"
+    assert format_seconds(3.2e-9) == "3.20 ns"
+    assert format_seconds(4.5e-6) == "4.50 us"
+    assert format_seconds(2.28e-3) == "2.28 ms"
+    assert format_seconds(1.5) == "1.50 s"
+
+
+def test_format_bytes_scales() -> None:
+    assert format_bytes(None) == "-"
+    assert format_bytes(32) == "32 B"
+    assert format_bytes(38720) == "37.81 KB"
+    assert format_bytes(5 * 1024 * 1024) == "5.00 MB"
+
+
+def test_format_ratio() -> None:
+    assert format_ratio(2.0, 1.0) == "2.00x"
+    assert format_ratio(None, 1.0) == "-"
+    assert format_ratio(1.0, 0.0) == "-"
+
+
+def test_render_report_structure() -> None:
+    report = ExperimentReport(
+        experiment_id="Fig. X",
+        title="A test figure",
+        parameters={"N": 4},
+        columns=["x", "y"],
+    )
+    report.add_row("a", 1)
+    report.add_row("bb", 22)
+    report.add_note("a note")
+    text = render_report(report)
+    lines = text.splitlines()
+    assert lines[0] == "== Fig. X: A test figure =="
+    assert "parameters: N=4" in lines[1]
+    assert "x" in lines[2] and "y" in lines[2]
+    assert set(lines[3]) <= {"-", "+"}
+    assert "a note" in lines[-1]
+    # all data rows align to the same width
+    assert len(lines[4]) == len(lines[5])
+
+
+def test_render_report_wide_cells_stretch_columns() -> None:
+    report = ExperimentReport("id", "t", columns=["c"])
+    report.add_row("a very long cell indeed")
+    assert "a very long cell indeed" in render_report(report)

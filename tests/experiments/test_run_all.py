@@ -1,0 +1,41 @@
+"""The run_all orchestrator (quick profile, subprocess)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.run_all import QUICK_OVERRIDES
+
+
+def test_quick_overrides_reference_real_parameters() -> None:
+    """Every override key must be a real parameter of its driver."""
+    import inspect
+
+    from repro.experiments import fig4, fig5, fig6a, fig6b, table5
+
+    drivers = {"fig4": fig4.run, "fig5": fig5.run, "fig6a": fig6a.run,
+               "fig6b": fig6b.run, "table5": table5.run}
+    for name, overrides in QUICK_OVERRIDES.items():
+        parameters = inspect.signature(drivers[name]).parameters
+        for key in overrides:
+            assert key in parameters, (name, key)
+
+
+@pytest.mark.slow
+def test_run_all_quick_subprocess(tmp_path) -> None:
+    output = tmp_path / "reports.txt"
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.experiments.run_all", "--quick",
+         "--output", str(output)],
+        capture_output=True,
+        text=True,
+        timeout=540,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    text = output.read_text()
+    for experiment_id in ("Table II", "Table III", "Fig. 4", "Fig. 5",
+                          "Fig. 6(a)", "Fig. 6(b)", "Table V"):
+        assert experiment_id in text, experiment_id

@@ -1,0 +1,30 @@
+"""The reproduction validator: all claims must hold at smoke scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.validate import validate
+
+
+@pytest.fixture(scope="module")
+def claims():
+    return validate(quick=True)
+
+
+def test_all_claims_pass(claims) -> None:
+    failed = [c for c in claims if not c.passed]
+    assert not failed, [f"{c.claim_id}: {c.evidence}" for c in failed]
+
+
+def test_claim_coverage(claims) -> None:
+    assert [c.claim_id for c in claims] == ["C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8"]
+    assert all(c.evidence for c in claims)
+
+
+def test_main_exit_code(capsys) -> None:
+    from repro.experiments.validate import main
+
+    assert main(["--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "8/8 reproduction claims hold" in out

@@ -1,0 +1,103 @@
+"""μTesla authenticated broadcast (Theorem 3's mechanism)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import AuthenticationError, ParameterError
+from repro.network.broadcast import MuTeslaBroadcaster, MuTeslaReceiver
+
+
+@pytest.fixture()
+def pair():
+    broadcaster = MuTeslaBroadcaster(b"\x07" * 32, chain_length=16, disclosure_delay=2)
+    receiver = MuTeslaReceiver(broadcaster.commitment, disclosure_delay=2)
+    return broadcaster, receiver
+
+
+def test_normal_broadcast_flow(pair) -> None:
+    broadcaster, receiver = pair
+    packet = broadcaster.broadcast(b"SELECT SUM...", interval=3)
+    assert receiver.receive(packet, current_interval=3)
+    assert receiver.pending_intervals() == (3,)
+    verified = receiver.on_key_disclosed(3, broadcaster.disclose(3))
+    assert verified == [b"SELECT SUM..."]
+    assert receiver.authenticated == [b"SELECT SUM..."]
+    assert receiver.pending_intervals() == ()
+
+
+def test_multiple_packets_per_interval(pair) -> None:
+    broadcaster, receiver = pair
+    for payload in (b"a", b"b", b"c"):
+        receiver.receive(broadcaster.broadcast(payload, interval=2), current_interval=2)
+    assert sorted(receiver.on_key_disclosed(2, broadcaster.disclose(2))) == [b"a", b"b", b"c"]
+
+
+def test_security_condition_rejects_late_packets(pair) -> None:
+    """A packet arriving at/after its key's disclosure time could be
+    forged by anyone holding the disclosed key — must be dropped."""
+    broadcaster, receiver = pair
+    packet = broadcaster.broadcast(b"late", interval=3)
+    assert not receiver.receive(packet, current_interval=5)  # 3 + delay(2) = 5
+    assert receiver.rejected_late == 1
+    assert not receiver.receive(packet, current_interval=99)
+    assert receiver.receive(broadcaster.broadcast(b"ok", interval=3), current_interval=4)
+
+
+def test_forged_mac_rejected(pair) -> None:
+    broadcaster, receiver = pair
+    packet = broadcaster.broadcast(b"genuine", interval=4)
+    packet.mac = os.urandom(len(packet.mac))
+    receiver.receive(packet, current_interval=4)
+    assert receiver.on_key_disclosed(4, broadcaster.disclose(4)) == []
+
+
+def test_forged_payload_rejected(pair) -> None:
+    broadcaster, receiver = pair
+    packet = broadcaster.broadcast(b"genuine", interval=4)
+    packet.payload = b"tampered"
+    receiver.receive(packet, current_interval=4)
+    assert receiver.on_key_disclosed(4, broadcaster.disclose(4)) == []
+
+
+def test_forged_disclosed_key_raises(pair) -> None:
+    broadcaster, receiver = pair
+    with pytest.raises(AuthenticationError, match="chain check"):
+        receiver.on_key_disclosed(3, os.urandom(32))
+
+
+def test_out_of_order_disclosure_rejected(pair) -> None:
+    broadcaster, receiver = pair
+    receiver.on_key_disclosed(5, broadcaster.disclose(5))
+    with pytest.raises(AuthenticationError):
+        receiver.on_key_disclosed(5, broadcaster.disclose(5))
+    with pytest.raises(AuthenticationError):
+        receiver.on_key_disclosed(3, broadcaster.disclose(3))
+
+
+def test_disclosure_advances_trust_anchor(pair) -> None:
+    broadcaster, receiver = pair
+    receiver.on_key_disclosed(2, broadcaster.disclose(2))
+    packet = broadcaster.broadcast(b"later", interval=9)
+    receiver.receive(packet, current_interval=9)
+    assert receiver.on_key_disclosed(9, broadcaster.disclose(9)) == [b"later"]
+
+
+def test_packet_wire_size(pair) -> None:
+    broadcaster, _ = pair
+    packet = broadcaster.broadcast(b"12345", interval=1)
+    assert packet.wire_size() == 5 + 32 + 4  # payload + HMAC-SHA256 + interval
+    packet.disclosed_key = b"\x00" * 32
+    assert packet.wire_size() == 5 + 32 + 4 + 32
+
+
+def test_constructor_validation() -> None:
+    with pytest.raises(ParameterError):
+        MuTeslaBroadcaster(b"root", chain_length=0)
+    with pytest.raises(ParameterError):
+        MuTeslaReceiver(b"")
+    broadcaster = MuTeslaBroadcaster(b"root-material", chain_length=4)
+    with pytest.raises(ParameterError):
+        broadcaster.broadcast(b"x", interval=0)  # interval 0 is the commitment

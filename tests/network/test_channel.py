@@ -1,0 +1,97 @@
+"""Channel transmission, traffic accounting and interceptors."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.source import SIESRecord
+from repro.network.channel import Channel, EdgeClass
+from repro.network.messages import DataMessage
+
+
+def _message(epoch: int = 1, size: int = 32) -> DataMessage:
+    return DataMessage(
+        sender=0, receiver=1, epoch=epoch,
+        psr=SIESRecord(ciphertext=123, epoch=epoch, modulus_bytes=size),
+    )
+
+
+def test_traffic_counters_by_edge_class() -> None:
+    channel = Channel()
+    channel.transmit(_message(size=32), EdgeClass.SOURCE_TO_AGGREGATOR)
+    channel.transmit(_message(size=32), EdgeClass.SOURCE_TO_AGGREGATOR)
+    channel.transmit(_message(size=20), EdgeClass.AGGREGATOR_TO_QUERIER)
+    counters = channel.counters
+    assert counters.bytes_for(EdgeClass.SOURCE_TO_AGGREGATOR) == 64
+    assert counters.messages_for(EdgeClass.SOURCE_TO_AGGREGATOR) == 2
+    assert counters.mean_bytes_per_message(EdgeClass.SOURCE_TO_AGGREGATOR) == 32
+    assert counters.bytes_for(EdgeClass.AGGREGATOR_TO_QUERIER) == 20
+    assert counters.bytes_for(EdgeClass.AGGREGATOR_TO_AGGREGATOR) == 0
+    assert counters.total_bytes() == 84
+
+
+def test_mean_of_empty_class_is_zero() -> None:
+    assert Channel().counters.mean_bytes_per_message(EdgeClass.AGGREGATOR_TO_AGGREGATOR) == 0.0
+
+
+def test_counters_reset() -> None:
+    channel = Channel()
+    channel.transmit(_message(), EdgeClass.SOURCE_TO_AGGREGATOR)
+    channel.counters.reset()
+    assert channel.counters.total_bytes() == 0
+
+
+def test_interceptor_can_modify() -> None:
+    channel = Channel()
+
+    def bump(message, edge):
+        return dataclasses.replace(
+            message, psr=dataclasses.replace(message.psr, ciphertext=message.psr.ciphertext + 1)
+        )
+
+    channel.add_interceptor(bump)
+    out = channel.transmit(_message(), EdgeClass.SOURCE_TO_AGGREGATOR)
+    assert out is not None and out.psr.ciphertext == 124
+
+
+def test_interceptor_can_drop_but_traffic_still_counted() -> None:
+    channel = Channel()
+    channel.add_interceptor(lambda m, e: None)
+    assert channel.transmit(_message(), EdgeClass.SOURCE_TO_AGGREGATOR) is None
+    # the sender still spent the transmission energy/bytes
+    assert channel.counters.messages_for(EdgeClass.SOURCE_TO_AGGREGATOR) == 1
+
+
+def test_interceptors_apply_in_order_and_short_circuit() -> None:
+    channel = Channel()
+    seen: list[str] = []
+
+    def first(m, e):
+        seen.append("first")
+        return None
+
+    def second(m, e):
+        seen.append("second")
+        return m
+
+    channel.add_interceptor(first)
+    channel.add_interceptor(second)
+    channel.transmit(_message(), EdgeClass.SOURCE_TO_AGGREGATOR)
+    assert seen == ["first"]  # drop short-circuits the chain
+
+
+def test_remove_and_clear_interceptors() -> None:
+    channel = Channel()
+    drop = lambda m, e: None  # noqa: E731
+    channel.add_interceptor(drop)
+    channel.remove_interceptor(drop)
+    assert channel.transmit(_message(), EdgeClass.SOURCE_TO_AGGREGATOR) is not None
+    channel.add_interceptor(drop)
+    channel.clear_interceptors()
+    assert channel.transmit(_message(), EdgeClass.SOURCE_TO_AGGREGATOR) is not None
+
+
+def test_edge_class_labels_match_paper() -> None:
+    assert EdgeClass.SOURCE_TO_AGGREGATOR.value == "S-A"
+    assert EdgeClass.AGGREGATOR_TO_AGGREGATOR.value == "A-A"
+    assert EdgeClass.AGGREGATOR_TO_QUERIER.value == "A-Q"

@@ -1,0 +1,73 @@
+"""Radio energy model and per-node ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.network.energy import EnergyLedger, FirstOrderRadioModel
+from repro.network.simulator import naive_collection_traffic
+from repro.network.topology import build_complete_tree
+
+
+def test_first_order_model_formulas() -> None:
+    model = FirstOrderRadioModel(electronics_j_per_bit=50e-9, amplifier_j_per_bit_m2=100e-12)
+    # 1 byte over 10 m: 8 bits * (50nJ + 100pJ*100)
+    assert model.transmit_energy(1, 10.0) == pytest.approx(8 * (50e-9 + 100e-12 * 100))
+    assert model.receive_energy(1) == pytest.approx(8 * 50e-9)
+    assert model.transmit_energy(0, 10.0) == 0.0
+
+
+def test_transmit_cost_grows_with_distance_squared() -> None:
+    model = FirstOrderRadioModel()
+    near = model.transmit_energy(100, 1.0)
+    far = model.transmit_energy(100, 10.0)
+    amplifier_near = near - model.receive_energy(100)
+    amplifier_far = far - model.receive_energy(100)
+    assert amplifier_far == pytest.approx(100 * amplifier_near)
+
+
+def test_negative_constants_rejected() -> None:
+    with pytest.raises(ParameterError):
+        FirstOrderRadioModel(electronics_j_per_bit=-1)
+
+
+def test_ledger_accumulates_per_node() -> None:
+    ledger = EnergyLedger(FirstOrderRadioModel())
+    ledger.on_transmit(1, 32, 10.0)
+    ledger.on_transmit(1, 32, 10.0)
+    ledger.on_receive(2, 32)
+    assert ledger.spent(1) == pytest.approx(2 * FirstOrderRadioModel().transmit_energy(32, 10.0))
+    assert ledger.spent(2) == pytest.approx(FirstOrderRadioModel().receive_energy(32))
+    assert ledger.spent(99) == 0.0
+    assert ledger.total() == pytest.approx(ledger.spent(1) + ledger.spent(2))
+
+
+def test_hottest_node() -> None:
+    ledger = EnergyLedger(FirstOrderRadioModel())
+    assert ledger.hottest_node() == (-1, 0.0)
+    ledger.on_transmit(1, 10, 1.0)
+    ledger.on_transmit(2, 1000, 1.0)
+    node, joules = ledger.hottest_node()
+    assert node == 2 and joules > ledger.spent(1)
+
+
+def test_naive_collection_load_grows_toward_sink() -> None:
+    tree = build_complete_tree(64, 4)
+    tx_bytes, ledger = naive_collection_traffic(tree, 4, energy_model=FirstOrderRadioModel())
+    assert ledger is not None
+    # every source sends its own reading only
+    assert all(tx_bytes[s] == 4 for s in tree.source_ids)
+    # the root relays everything
+    assert tx_bytes[tree.root_id] == 64 * 4
+    # a depth-1 aggregator relays its quarter
+    child_of_root = tree.children(tree.root_id)[0]
+    assert tx_bytes[child_of_root] == 16 * 4
+    # the hottest node is the root (it also receives everything)
+    assert ledger.hottest_node()[0] == tree.root_id
+
+
+def test_naive_collection_validates_size() -> None:
+    tree = build_complete_tree(4, 2)
+    with pytest.raises(ParameterError):
+        naive_collection_traffic(tree, 0)

@@ -1,0 +1,27 @@
+"""Wire message containers."""
+
+from __future__ import annotations
+
+from repro.core.source import SIESRecord
+from repro.network.messages import BroadcastPacket, DataMessage
+
+
+def test_data_message_size_delegates_to_psr() -> None:
+    psr = SIESRecord(ciphertext=5, epoch=1, modulus_bytes=32)
+    message = DataMessage(sender=1, receiver=2, epoch=1, psr=psr)
+    assert message.wire_size() == 32
+    assert (message.sender, message.receiver, message.epoch) == (1, 2, 1)
+
+
+def test_broadcast_packet_sizes() -> None:
+    packet = BroadcastPacket(interval=3, payload=b"q" * 10, mac=b"m" * 32)
+    assert packet.wire_size() == 10 + 32 + 4
+    packet.disclosed_key = b"k" * 32
+    assert packet.wire_size() == 10 + 32 + 4 + 32
+
+
+def test_broadcast_packet_headers_default_empty() -> None:
+    a = BroadcastPacket(interval=1, payload=b"", mac=b"")
+    b = BroadcastPacket(interval=1, payload=b"", mac=b"")
+    a.headers["kind"] = "query"
+    assert b.headers == {}  # no shared mutable default

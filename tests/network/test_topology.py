@@ -1,0 +1,141 @@
+"""Aggregation-tree construction and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.topology import AggregationTree, TreeNode, build_complete_tree, build_random_tree
+
+
+def test_complete_tree_paper_defaults() -> None:
+    tree = build_complete_tree(1024, 4)
+    assert tree.num_sources == 1024
+    assert tree.source_ids == tuple(range(1024))
+    assert tree.depth() == 5  # 4^5 = 1024
+    # every aggregator has exactly 4 children in the perfect case
+    assert all(tree.fanout(a) == 4 for a in tree.aggregator_ids)
+    assert tree.num_aggregators == 256 + 64 + 16 + 4 + 1
+
+
+@pytest.mark.parametrize("n,f", [(1, 4), (2, 2), (5, 2), (7, 3), (100, 4), (64, 6)])
+def test_complete_tree_arbitrary_sizes(n: int, f: int) -> None:
+    tree = build_complete_tree(n, f)
+    assert tree.num_sources == n
+    assert all(tree.node(s).is_source for s in tree.source_ids)
+    assert not tree.node(tree.root_id).is_source or n == 0
+    assert all(1 <= tree.fanout(a) <= f for a in tree.aggregator_ids)
+    assert sorted(tree.leaves_under(tree.root_id)) == list(range(n))
+
+
+def test_single_source_still_has_a_sink() -> None:
+    tree = build_complete_tree(1, 4)
+    assert tree.num_sources == 1
+    assert tree.num_aggregators == 1
+    assert tree.parent(0) == tree.root_id
+
+
+def test_bottom_up_order_children_before_parents() -> None:
+    tree = build_complete_tree(64, 4)
+    order = tree.bottom_up_aggregators()
+    position = {aid: i for i, aid in enumerate(order)}
+    for aid in tree.aggregator_ids:
+        for child in tree.children(aid):
+            if tree.node(child).is_aggregator:
+                assert position[child] < position[aid]
+    assert order[-1] == tree.root_id
+    assert len(order) == tree.num_aggregators
+
+
+def test_path_to_root() -> None:
+    tree = build_complete_tree(16, 4)
+    path = tree.path_to_root(0)
+    assert path[0] == 0 and path[-1] == tree.root_id
+    assert len(path) == tree.depth() + 1
+
+
+def test_leaves_under_partitions_sources() -> None:
+    tree = build_complete_tree(16, 4)
+    children = tree.children(tree.root_id)
+    all_leaves = sorted(leaf for c in children for leaf in tree.leaves_under(c))
+    assert all_leaves == list(range(16))
+
+
+def test_random_tree_valid_and_deterministic() -> None:
+    t1 = build_random_tree(50, max_fanout=5, seed=3)
+    t2 = build_random_tree(50, max_fanout=5, seed=3)
+    assert t1.num_sources == 50
+    assert [t1.parent(i) for i in range(50)] == [t2.parent(i) for i in range(50)]
+    t3 = build_random_tree(50, max_fanout=5, seed=4)
+    assert [t1.parent(i) for i in range(50)] != [t3.parent(i) for i in range(50)]
+
+
+def test_random_tree_respects_max_fanout_loosely() -> None:
+    tree = build_random_tree(200, max_fanout=4, seed=9)
+    # the lone-leftover rule may push one group to max_fanout + 1
+    assert all(tree.fanout(a) <= 5 for a in tree.aggregator_ids)
+    assert sorted(tree.leaves_under(tree.root_id)) == list(range(200))
+
+
+# ----------------------------------------------------------------------
+# Structural validation
+# ----------------------------------------------------------------------
+
+
+def _node(nid, is_source, parent, children=()):
+    return TreeNode(node_id=nid, is_source=is_source, parent_id=parent, children=list(children))
+
+
+def test_rejects_duplicate_ids() -> None:
+    with pytest.raises(TopologyError, match="duplicate"):
+        AggregationTree([_node(0, True, 1), _node(0, True, 1), _node(1, False, None, [0])])
+
+
+def test_rejects_multiple_roots() -> None:
+    with pytest.raises(TopologyError, match="root"):
+        AggregationTree([_node(0, False, None, [1]), _node(1, True, 0), _node(2, False, None, [3]), _node(3, True, 2)])
+
+
+def test_rejects_source_with_children() -> None:
+    with pytest.raises(TopologyError, match="leaf"):
+        AggregationTree([_node(2, False, None, [0]), _node(0, True, 2, [1]), _node(1, True, 0)])
+
+
+def test_rejects_childless_aggregator() -> None:
+    with pytest.raises(TopologyError, match="no children"):
+        AggregationTree([_node(0, False, None, [1]), _node(1, False, 0)])
+
+
+def test_rejects_dangling_child_reference() -> None:
+    with pytest.raises(TopologyError, match="missing child"):
+        AggregationTree([_node(0, False, None, [1, 9]), _node(1, True, 0)])
+
+
+def test_rejects_parent_pointer_mismatch() -> None:
+    nodes = [_node(0, False, None, [1]), _node(1, True, 5)]
+    with pytest.raises(TopologyError):
+        AggregationTree(nodes)
+
+
+def test_rejects_unreachable_nodes() -> None:
+    nodes = [
+        _node(0, False, None, [1]),
+        _node(1, True, 0),
+        _node(2, True, 3),
+        _node(3, False, 2, [2]),  # cycle island: 2 <-> 3
+    ]
+    with pytest.raises(TopologyError):
+        AggregationTree(nodes)
+
+
+def test_node_lookup_errors() -> None:
+    tree = build_complete_tree(4, 2)
+    with pytest.raises(TopologyError):
+        tree.node(999)
+
+
+def test_iteration_and_len() -> None:
+    tree = build_complete_tree(8, 2)
+    assert len(tree) == 8 + tree.num_aggregators
+    assert {n.node_id for n in tree} == set(range(len(tree)))
+    assert tree.max_fanout() == 2

@@ -1,0 +1,89 @@
+"""Simulation tracing: event capture, queries, round-tripping."""
+
+from __future__ import annotations
+
+import io
+
+from repro.core.protocol import SIESProtocol
+from repro.datasets.workload import UniformWorkload
+from repro.network.simulator import QUERIER_NODE_ID, NetworkSimulator, SimulationConfig
+from repro.network.topology import build_complete_tree
+from repro.network.tracing import SimulationTracer, TraceEvent
+
+N = 16
+
+
+def _traced_run(epochs: int = 2, *, include_ciphertexts: bool = False):
+    protocol = SIESProtocol(N, seed=3)
+    tree = build_complete_tree(N, 4)
+    workload = UniformWorkload(N, 1, 50, seed=4)
+    simulator = NetworkSimulator(protocol, tree, workload, SimulationConfig(num_epochs=epochs))
+    tracer = SimulationTracer(include_ciphertexts=include_ciphertexts)
+    tracer.attach(simulator.channel)
+    metrics = simulator.run()
+    return tracer, tree, metrics
+
+
+def test_captures_every_hop() -> None:
+    tracer, tree, metrics = _traced_run(epochs=2)
+    hops_per_epoch = N + (tree.num_aggregators - 1) + 1
+    assert len(tracer.events) == 2 * hops_per_epoch
+    assert tracer.epochs() == [1, 2]
+    assert len(tracer.events_for_epoch(1)) == hops_per_epoch
+
+
+def test_sequence_is_strictly_increasing_and_causal() -> None:
+    tracer, tree, _ = _traced_run(epochs=1)
+    sequences = [e.sequence for e in tracer.events]
+    assert sequences == sorted(sequences) == list(range(len(sequences)))
+    # all source hops precede the final A-Q hop
+    final = [e for e in tracer.events if e.receiver == QUERIER_NODE_ID]
+    assert len(final) == 1
+    assert all(e.sequence < final[0].sequence for e in tracer.events if e.edge == "S-A")
+
+
+def test_trace_agrees_with_traffic_counters() -> None:
+    tracer, _, metrics = _traced_run(epochs=2)
+    assert tracer.bytes_by_edge() == {
+        edge.value: metrics.traffic.bytes_for(edge)
+        for edge in metrics.traffic.bytes_by_class
+    }
+
+
+def test_hops_through_node() -> None:
+    tracer, tree, _ = _traced_run(epochs=1)
+    aggregator = tree.parent(0)
+    hops = tracer.hops_through(aggregator)
+    # receives from its 4 children, sends once upward
+    assert sum(1 for e in hops if e.receiver == aggregator) == 4
+    assert sum(1 for e in hops if e.sender == aggregator) == 1
+
+
+def test_ciphertexts_excluded_by_default() -> None:
+    tracer, _, _ = _traced_run(epochs=1)
+    assert all(e.ciphertext is None for e in tracer.events)
+    tracer_on, _, _ = _traced_run(epochs=1, include_ciphertexts=True)
+    assert all(isinstance(e.ciphertext, int) for e in tracer_on.events)
+
+
+def test_jsonl_roundtrip() -> None:
+    tracer, _, _ = _traced_run(epochs=1, include_ciphertexts=True)
+    buffer = io.StringIO()
+    count = tracer.write_jsonl(buffer)
+    assert count == len(tracer.events)
+    buffer.seek(0)
+    restored = SimulationTracer.read_jsonl(buffer)
+    assert restored.events == tracer.events
+
+
+def test_event_json_big_ints_survive() -> None:
+    event = TraceEvent(
+        sequence=0, epoch=1, edge="S-A", sender=0, receiver=1,
+        psr_type="SIESRecord", wire_bytes=32, ciphertext=1 << 255,
+    )
+    assert TraceEvent.from_json(event.to_json()) == event
+
+
+def test_tracing_does_not_perturb_results() -> None:
+    _, _, metrics = _traced_run(epochs=2)
+    assert metrics.all_verified()

@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) for the crypto substrate."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as stdlib_hmac
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hmac import HM1, HM256
+from repro.crypto.homomorphic import decrypt, encrypt
+from repro.crypto.modular import crt_pair, egcd, modinv
+from repro.crypto.primes import next_prime
+from repro.crypto.secret_sharing import AdditiveSecretSharing
+from repro.crypto.sha1 import sha1_digest
+from repro.crypto.sha256 import sha256_digest
+from repro.utils.bytesops import int_to_bytes, bytes_to_int, xor_bytes
+
+P = next_prime(1 << 128)
+
+
+@given(st.binary(max_size=500))
+def test_sha1_matches_hashlib(data: bytes) -> None:
+    assert sha1_digest(data) == hashlib.sha1(data).digest()
+
+
+@given(st.binary(max_size=500))
+def test_sha256_matches_hashlib(data: bytes) -> None:
+    assert sha256_digest(data) == hashlib.sha256(data).digest()
+
+
+@given(st.binary(min_size=1, max_size=100), st.binary(max_size=200))
+def test_hmac_matches_stdlib(key: bytes, message: bytes) -> None:
+    assert HM1(key, message) == stdlib_hmac.new(key, message, hashlib.sha1).digest()
+    assert HM256(key, message) == stdlib_hmac.new(key, message, hashlib.sha256).digest()
+
+
+@given(
+    st.integers(min_value=0, max_value=P - 1),
+    st.integers(min_value=1, max_value=P - 1),
+    st.integers(min_value=0, max_value=P - 1),
+)
+def test_homomorphic_roundtrip(m: int, K: int, k: int) -> None:
+    assert decrypt(encrypt(m, K, k, P), K, k, P) == m
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=2**20), st.integers(min_value=0, max_value=P - 1)),
+        min_size=1,
+        max_size=20,
+    ),
+    st.integers(min_value=1, max_value=P - 1),
+)
+def test_homomorphic_aggregation(pairs: list[tuple[int, int]], K: int) -> None:
+    """Σ E(m_i) decrypts to Σ m_i under Σ k_i — for any batch."""
+    aggregate = sum(encrypt(m, K, k, P) for m, k in pairs) % P
+    assert decrypt(aggregate, K, sum(k for _, k in pairs), P) == sum(m for m, _ in pairs)
+
+
+@given(st.integers(min_value=-(2**80), max_value=2**80), st.integers(min_value=-(2**80), max_value=2**80))
+def test_egcd_bezout(a: int, b: int) -> None:
+    g, x, y = egcd(a, b)
+    assert g == math.gcd(a, b)
+    assert a * x + b * y == g
+
+
+@given(st.integers(min_value=1, max_value=P - 1))
+def test_modinv_property(a: int) -> None:
+    assert (a * modinv(a, P)) % P == 1
+
+
+@given(st.integers(min_value=0, max_value=10006 * 10008))
+def test_crt_roundtrip(x: int) -> None:
+    m1, m2 = 10007, 10009
+    x %= m1 * m2
+    assert crt_pair(x % m1, m1, x % m2, m2) == x
+
+
+@given(st.integers(min_value=0, max_value=2**200))
+def test_int_bytes_roundtrip(value: int) -> None:
+    assert bytes_to_int(int_to_bytes(value)) == value
+    assert bytes_to_int(int_to_bytes(value, 32)) == value if value < 2**256 else True
+
+
+@given(st.binary(min_size=1, max_size=64).flatmap(
+    lambda a: st.tuples(st.just(a), st.binary(min_size=len(a), max_size=len(a)))
+))
+def test_xor_involution(pair: tuple[bytes, bytes]) -> None:
+    a, b = pair
+    assert xor_bytes(xor_bytes(a, b), b) == a
+
+
+@settings(max_examples=30)
+@given(
+    st.integers(min_value=0, max_value=2**100),
+    st.integers(min_value=1, max_value=12),
+    st.randoms(use_true_random=False),
+)
+def test_secret_sharing_roundtrip(secret: int, parties: int, rng) -> None:
+    dealer = AdditiveSecretSharing(parties=parties, share_bits=128)
+    shares = dealer.split(secret, rng)
+    assert dealer.combine(shares) == secret

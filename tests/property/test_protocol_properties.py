@@ -1,0 +1,87 @@
+"""Property-based tests across the baseline protocols (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.cmt import CMTProtocol
+from repro.baselines.commit_attest import CommitmentTree, verify_inclusion
+from repro.crypto.paillier import generate_paillier_keypair
+from repro.queries.encoding import ValueCodec
+
+import random
+
+N = 6
+CMT = CMTProtocol(N, seed=3030)
+PAILLIER = generate_paillier_keypair(bits=256, rng=random.Random(7))
+
+values_strategy = st.lists(
+    st.integers(min_value=0, max_value=2**40), min_size=N, max_size=N
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=values_strategy, epoch=st.integers(min_value=0, max_value=2**32))
+def test_cmt_exactness_property(values: list[int], epoch: int) -> None:
+    psrs = [CMT.create_source(i).initialize(epoch, v) for i, v in enumerate(values)]
+    final = CMT.create_aggregator().merge(epoch, psrs)
+    assert CMT.create_querier().evaluate(epoch, final).value == sum(values)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=values_strategy,
+    epoch=st.integers(min_value=0, max_value=2**16),
+    delta=st.integers(min_value=1, max_value=(1 << 160) - 1),
+)
+def test_cmt_tamper_shifts_exactly_by_delta(values: list[int], epoch: int, delta: int) -> None:
+    """CMT's failure mode is *precise*: the adversary controls the shift."""
+    psrs = [CMT.create_source(i).initialize(epoch, v) for i, v in enumerate(values)]
+    final = CMT.create_aggregator().merge(epoch, psrs)
+    final.ciphertext = (final.ciphertext + delta) % CMT.n
+    reported = CMT.create_querier().evaluate(epoch, final).value
+    assert reported == (sum(values) + delta) % CMT.n
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=2**30), min_size=1, max_size=24),
+    epoch=st.integers(min_value=0, max_value=2**20),
+)
+def test_commitment_tree_soundness_property(values: list[int], epoch: int) -> None:
+    """Every honest leaf verifies; every off-by-one value fails."""
+    tree = CommitmentTree(values, epoch)
+    assert tree.root.total == sum(values)
+    for i, v in enumerate(values):
+        path = tree.path(i)
+        assert verify_inclusion(i, v, epoch, path, tree.root)
+        assert not verify_inclusion(i, v + 1, epoch, path, tree.root)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=PAILLIER.public.n - 1),
+    b=st.integers(min_value=0, max_value=PAILLIER.public.n - 1),
+    factor=st.integers(min_value=0, max_value=1000),
+)
+def test_paillier_homomorphism_property(a: int, b: int, factor: int) -> None:
+    rng = random.Random(a ^ b ^ factor)
+    ca = PAILLIER.public.encrypt(a, rng)
+    cb = PAILLIER.public.encrypt(b, rng)
+    assert PAILLIER.decrypt(PAILLIER.public.add(ca, cb)) == (a + b) % PAILLIER.public.n
+    assert PAILLIER.decrypt(PAILLIER.public.scale(ca, factor)) == (a * factor) % PAILLIER.public.n
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-40.0, max_value=50.0, allow_nan=False), min_size=1, max_size=20
+    )
+)
+def test_codec_sum_roundtrip_property(values: list[float]) -> None:
+    codec = ValueCodec(minimum=-40.0, maximum=50.0, decimals=2)
+    quantized = [round(v, 2) for v in values]
+    encoded_sum = sum(codec.encode(v) for v in quantized)
+    decoded = codec.decode_sum(encoded_sum, len(quantized))
+    assert abs(decoded - sum(quantized)) < 1e-6 * max(1, len(quantized))

@@ -1,0 +1,123 @@
+"""Property-based tests for SIES invariants (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import MessageLayout
+from repro.core.protocol import SIESProtocol
+from repro.errors import VerificationFailure
+
+# One shared deployment: setup is expensive, properties only read state.
+N = 6
+PROTOCOL = SIESProtocol(N, seed=2024)
+
+values_strategy = st.lists(
+    st.integers(min_value=0, max_value=2**24), min_size=N, max_size=N
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=values_strategy, epoch=st.integers(min_value=0, max_value=2**32))
+def test_exactness_for_any_values_and_epoch(values: list[int], epoch: int) -> None:
+    """The querier recovers the exact SUM for arbitrary inputs/epochs."""
+    psrs = [PROTOCOL.create_source(i).initialize(epoch, v) for i, v in enumerate(values)]
+    final = PROTOCOL.create_aggregator().merge(epoch, psrs)
+    result = PROTOCOL.create_querier().evaluate(epoch, final)
+    assert result.value == sum(values)
+    assert result.verified
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=values_strategy,
+    epoch=st.integers(min_value=0, max_value=2**16),
+    delta=st.integers(min_value=1, max_value=PROTOCOL.p - 1),
+)
+def test_any_nonzero_tamper_is_detected(values: list[int], epoch: int, delta: int) -> None:
+    """Theorem 2, property form: *every* additive perturbation of the
+    final ciphertext fails verification."""
+    psrs = [PROTOCOL.create_source(i).initialize(epoch, v) for i, v in enumerate(values)]
+    final = PROTOCOL.create_aggregator().merge(epoch, psrs)
+    final.ciphertext = (final.ciphertext + delta) % PROTOCOL.p
+    try:
+        result = PROTOCOL.create_querier().evaluate(epoch, final)
+    except VerificationFailure:
+        return  # detected, as required
+    # The only undetected perturbations are those that change the value
+    # field alone while leaving the secret intact — which requires delta
+    # to be a multiple of K_t * 2^(secret_bits); for a random delta this
+    # has probability ~2^-224.  If hypothesis ever finds one, it must at
+    # least have left the shares untouched:
+    assert result.extras["secret"] is not None
+    raise AssertionError(f"undetected tamper with delta={delta}")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=values_strategy,
+    epoch_a=st.integers(min_value=0, max_value=1000),
+    epoch_b=st.integers(min_value=0, max_value=1000),
+)
+def test_replay_between_any_two_epochs_detected(
+    values: list[int], epoch_a: int, epoch_b: int
+) -> None:
+    """Theorem 4, property form."""
+    if epoch_a == epoch_b:
+        return
+    psrs = [PROTOCOL.create_source(i).initialize(epoch_a, v) for i, v in enumerate(values)]
+    stale = PROTOCOL.create_aggregator().merge(epoch_a, psrs)
+    stale.epoch = epoch_b
+    try:
+        PROTOCOL.create_querier().evaluate(epoch_b, stale)
+    except VerificationFailure:
+        return
+    raise AssertionError(f"replay from {epoch_a} to {epoch_b} undetected")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    value=st.integers(min_value=0, max_value=2**32 - 1),
+    share=st.integers(min_value=0, max_value=2**160 - 1),
+    pad_bits=st.integers(min_value=0, max_value=64),
+)
+def test_layout_roundtrip_for_any_geometry(value: int, share: int, pad_bits: int) -> None:
+    layout = MessageLayout(value_bits=32, pad_bits=pad_bits, share_bits=160)
+    assert layout.decode(layout.encode(value, share)) == (value, share)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**20),
+            st.integers(min_value=0, max_value=2**160 - 1),
+        ),
+        min_size=1,
+        max_size=16,
+    )
+)
+def test_layout_aggregation_capacity_property(pairs: list[tuple[int, int]]) -> None:
+    """Summing <= 2^pad_bits encodings decodes componentwise, for any
+    values/shares — the Fig. 2 carry-absorption invariant."""
+    layout = MessageLayout(value_bits=32, pad_bits=4, share_bits=160)
+    assert len(pairs) <= layout.aggregation_capacity
+    total = sum(layout.encode(v, s) for v, s in pairs)
+    value, secret = layout.decode(total)
+    assert value == sum(v for v, _ in pairs)
+    assert secret == sum(s for _, s in pairs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    values=values_strategy,
+    epoch=st.integers(min_value=0, max_value=2**16),
+    split=st.integers(min_value=1, max_value=N - 1),
+)
+def test_merge_associativity_property(values: list[int], epoch: int, split: int) -> None:
+    psrs = [PROTOCOL.create_source(i).initialize(epoch, v) for i, v in enumerate(values)]
+    agg = PROTOCOL.create_aggregator()
+    nested = agg.merge(epoch, [agg.merge(epoch, psrs[:split]), agg.merge(epoch, psrs[split:])])
+    flat = agg.merge(epoch, psrs)
+    assert nested.ciphertext == flat.ciphertext

@@ -1,0 +1,95 @@
+"""Property-based tests for sketches, SEALs, topologies (hypothesis)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.secoa.seal import SealContext
+from repro.baselines.secoa.sketch import (
+    MAX_LEVEL,
+    DistinctCountSketch,
+    SketchStrategy,
+    max_level_cdf,
+    sample_sketch_level,
+)
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.network.topology import build_complete_tree
+
+CTX = SealContext(generate_rsa_keypair(256, rng=random.Random(1), public_exponent=3).public)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    count=st.integers(min_value=0, max_value=10**7),
+    seed=st.integers(min_value=0, max_value=2**32),
+    strategy=st.sampled_from(list(SketchStrategy)),
+)
+def test_sample_level_always_in_range(count: int, seed: int, strategy: SketchStrategy) -> None:
+    if strategy is SketchStrategy.PER_ITEM and count > 10_000:
+        count %= 10_000  # keep the reference path fast
+    level = sample_sketch_level(count, strategy=strategy, seed=seed)
+    assert 0 <= level <= MAX_LEVEL
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    items_a=st.sets(st.integers(min_value=0, max_value=2**32), max_size=50),
+    items_b=st.sets(st.integers(min_value=0, max_value=2**32), max_size=50),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_sketch_merge_equals_union(items_a: set, items_b: set, seed: int) -> None:
+    """merge(sketch(A), sketch(B)) == sketch(A ∪ B) — mergeability."""
+    sa = DistinctCountSketch(seed=seed)
+    sb = DistinctCountSketch(seed=seed)
+    su = DistinctCountSketch(seed=seed)
+    for item in items_a:
+        sa.insert(item)
+    for item in items_b:
+        sb.insert(item)
+    for item in items_a | items_b:
+        su.insert(item)
+    sa.merge(sb)
+    assert sa.level == su.level
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seeds=st.lists(st.integers(min_value=1, max_value=2**64), min_size=1, max_size=6),
+    positions=st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=6),
+)
+def test_seal_roll_fold_reference_identity(seeds: list[int], positions: list[int]) -> None:
+    """For any seeds/positions: roll-and-fold == reference (fold-then-roll)."""
+    k = min(len(seeds), len(positions))
+    seeds, positions = seeds[:k], positions[:k]
+    target = max(positions)
+    seals = [CTX.create(s % CTX.public_key.n, p) for s, p in zip(seeds, positions)]
+    assert CTX.roll_and_fold(seals, target) == CTX.reference_seal(
+        [s % CTX.public_key.n for s in seeds], target
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(x=st.integers(min_value=-1, max_value=MAX_LEVEL), count=st.integers(min_value=1, max_value=10**6))
+def test_cdf_monotone(x: int, count: int) -> None:
+    assert 0.0 <= max_level_cdf(x, count) <= 1.0
+    assert max_level_cdf(x, count) <= max_level_cdf(x + 1, count)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    fanout=st.integers(min_value=2, max_value=8),
+)
+def test_complete_tree_invariants(n: int, fanout: int) -> None:
+    """For any (N, F): sources are exactly the leaves, every node is
+    reachable, and the merge schedule covers every aggregator once."""
+    tree = build_complete_tree(n, fanout)
+    assert tree.num_sources == n
+    assert sorted(tree.leaves_under(tree.root_id)) == list(range(n))
+    schedule = tree.bottom_up_aggregators()
+    assert len(schedule) == len(set(schedule)) == tree.num_aggregators
+    # fanout bound holds everywhere
+    assert all(1 <= tree.fanout(a) <= fanout for a in tree.aggregator_ids)

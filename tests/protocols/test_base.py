@@ -1,0 +1,79 @@
+"""Protocol abstractions: OpCounter and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, ParameterError
+from repro.protocols.base import OP_NAMES, EvaluationResult, OpCounter
+from repro.protocols.registry import available_protocols, create_protocol, register_protocol
+
+
+def test_op_counter_accumulates() -> None:
+    ops = OpCounter()
+    ops.add("hm1")
+    ops.add("hm1", 3)
+    ops.add("rsa", 0)
+    assert ops.get("hm1") == 4
+    assert ops.get("rsa") == 0
+    assert ops.get("mul32") == 0
+
+
+def test_op_counter_rejects_unknown_and_negative() -> None:
+    ops = OpCounter()
+    with pytest.raises(ParameterError):
+        ops.add("quantum_fft")
+    with pytest.raises(ParameterError):
+        ops.add("hm1", -1)
+
+
+def test_op_counter_merge_copy_reset() -> None:
+    a = OpCounter()
+    a.add("hm1", 2)
+    b = OpCounter()
+    b.add("hm1", 1)
+    b.add("rsa", 5)
+    a.merge(b)
+    assert a.get("hm1") == 3 and a.get("rsa") == 5
+    clone = a.copy()
+    clone.add("hm1")
+    assert a.get("hm1") == 3  # copy is independent
+    a.reset()
+    assert a.counts == {}
+
+
+def test_op_names_cover_all_table2_constants() -> None:
+    assert set(OP_NAMES) == {
+        "hm1", "hm256", "add20", "add32", "mul32", "mul128", "inv32", "rsa", "sketch",
+    }
+
+
+def test_evaluation_result_defaults() -> None:
+    result = EvaluationResult(value=5, epoch=1, verified=True, exact=True)
+    assert result.extras == {}
+
+
+def test_registry_lists_builtins() -> None:
+    assert set(available_protocols()) >= {"sies", "cmt", "secoa_m", "secoa_s"}
+
+
+def test_registry_unknown_name() -> None:
+    with pytest.raises(ConfigurationError, match="unknown protocol"):
+        create_protocol("nope", 4)
+
+
+def test_registry_forwards_kwargs() -> None:
+    protocol = create_protocol("sies", 4, seed=1, value_bytes=8)
+    assert protocol.params.value_bytes == 8
+
+
+def test_registry_custom_registration() -> None:
+    from repro.core.protocol import SIESProtocol
+
+    register_protocol("sies_alias_for_test", SIESProtocol)
+    assert create_protocol("sies_alias_for_test", 2, seed=1).name == "sies"
+
+
+def test_protocol_rejects_nonpositive_sources() -> None:
+    with pytest.raises(ParameterError):
+        create_protocol("sies", 0)

@@ -1,0 +1,83 @@
+"""Authenticated query dissemination over μTesla."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import AuthenticationError
+from repro.queries.dissemination import QueryDisseminator, QueryListener
+from repro.queries.predicates import Comparison
+from repro.queries.query import AggregateKind, Query
+
+
+@pytest.fixture()
+def deployment():
+    disseminator = QueryDisseminator(b"\x09" * 32, chain_length=32)
+    listener = QueryListener.with_commitment(disseminator.commitment)
+    return disseminator, listener
+
+
+QUERY = Query(AggregateKind.SUM, "temperature", Comparison("temperature", ">", 20.0))
+
+
+def test_query_registration_flow(deployment) -> None:
+    disseminator, listener = deployment
+    packet = disseminator.broadcast_query(QUERY, epoch=3)
+    assert packet.headers["kind"] == "query"
+    assert listener.receive(packet, current_epoch=3)
+    assert listener.active_query is None  # not authenticated yet
+    registered = listener.on_key_disclosed(3, disseminator.disclose_key(3))
+    assert registered == [QUERY]
+    assert listener.active_query == QUERY
+    assert listener.require_active_query() == QUERY
+
+
+def test_new_query_replaces_active(deployment) -> None:
+    disseminator, listener = deployment
+    second = Query(AggregateKind.COUNT, "temperature")
+    listener.receive(disseminator.broadcast_query(QUERY, 2), current_epoch=2)
+    listener.on_key_disclosed(2, disseminator.disclose_key(2))
+    listener.receive(disseminator.broadcast_query(second, 5), current_epoch=5)
+    listener.on_key_disclosed(5, disseminator.disclose_key(5))
+    assert listener.active_query == second
+    assert listener.registered == [QUERY, second]
+
+
+def test_forged_query_never_registers(deployment) -> None:
+    """Theorem 3: querier impersonation fails at the sources."""
+    disseminator, listener = deployment
+    forged = disseminator.broadcast_query(QUERY, 4)
+    forged.mac = os.urandom(len(forged.mac))
+    listener.receive(forged, current_epoch=4)
+    assert listener.on_key_disclosed(4, disseminator.disclose_key(4)) == []
+    assert listener.active_query is None
+
+
+def test_forged_disclosed_key_raises(deployment) -> None:
+    disseminator, listener = deployment
+    listener.receive(disseminator.broadcast_query(QUERY, 4), current_epoch=4)
+    with pytest.raises(AuthenticationError):
+        listener.on_key_disclosed(4, os.urandom(32))
+
+
+def test_late_packet_dropped(deployment) -> None:
+    disseminator, listener = deployment
+    packet = disseminator.broadcast_query(QUERY, 3)
+    assert not listener.receive(packet, current_epoch=9)
+    assert listener.on_key_disclosed(3, disseminator.disclose_key(3)) == []
+
+
+def test_authentic_but_malformed_payload_counted(deployment) -> None:
+    disseminator, listener = deployment
+    packet = disseminator._broadcaster.broadcast(b"not a query", 6)
+    listener.receive(packet, current_epoch=6)
+    assert listener.on_key_disclosed(6, disseminator.disclose_key(6)) == []
+    assert listener.malformed == 1
+
+
+def test_require_active_query_raises_when_empty(deployment) -> None:
+    _, listener = deployment
+    with pytest.raises(AuthenticationError):
+        listener.require_active_query()

@@ -1,0 +1,134 @@
+"""Continuous-query execution against plaintext ground truth."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.datasets.intel_lab import IntelLabSynthesizer
+from repro.errors import QueryError
+from repro.network.channel import EdgeClass
+from repro.queries.engine import ContinuousQuery
+from repro.queries.predicates import Comparison
+from repro.queries.query import AggregateKind, Query
+
+N = 16
+SCALE = 100
+
+
+@pytest.fixture(scope="module")
+def deployment() -> IntelLabSynthesizer:
+    return IntelLabSynthesizer(N, seed=17)
+
+
+def _scaled(deployment: IntelLabSynthesizer, epoch: int) -> list[int]:
+    return [int(deployment.reading(m, epoch).temperature_c * SCALE) for m in range(N)]
+
+
+def test_sum_query(deployment: IntelLabSynthesizer) -> None:
+    cq = ContinuousQuery(Query(AggregateKind.SUM), N, scale=SCALE, seed=17, synthesizer=deployment)
+    answer = cq.run_epoch(1)
+    assert answer.verified and answer.exact
+    assert answer.value == pytest.approx(sum(_scaled(deployment, 1)) / SCALE)
+
+
+def test_count_query_with_predicate(deployment: IntelLabSynthesizer) -> None:
+    threshold = 30.0
+    cq = ContinuousQuery(
+        Query(AggregateKind.COUNT, "temperature", Comparison("temperature", ">=", threshold)),
+        N, scale=SCALE, seed=17, synthesizer=deployment,
+    )
+    answer = cq.run_epoch(2)
+    expected = sum(
+        1 for m in range(N) if deployment.reading(m, 2).temperature_c >= threshold
+    )
+    assert answer.value == expected and answer.verified
+
+
+def test_avg_query(deployment: IntelLabSynthesizer) -> None:
+    cq = ContinuousQuery(Query(AggregateKind.AVG), N, scale=SCALE, seed=17, synthesizer=deployment)
+    answer = cq.run_epoch(3)
+    scaled = _scaled(deployment, 3)
+    assert answer.value == pytest.approx(sum(scaled) / N / SCALE)
+    assert answer.components["indicator"] == N
+
+
+def test_variance_and_stddev(deployment: IntelLabSynthesizer) -> None:
+    var_q = ContinuousQuery(
+        Query(AggregateKind.VARIANCE), N, scale=SCALE, seed=17, synthesizer=deployment
+    )
+    std_q = ContinuousQuery(
+        Query(AggregateKind.STDDEV), N, scale=SCALE, seed=17, synthesizer=deployment
+    )
+    var = var_q.run_epoch(4)
+    std = std_q.run_epoch(4)
+    scaled = _scaled(deployment, 4)
+    mean = sum(scaled) / N
+    expected_var = (sum(v * v for v in scaled) / N - mean * mean) / SCALE**2
+    assert var.value == pytest.approx(expected_var, rel=1e-12)
+    assert std.value == pytest.approx(math.sqrt(expected_var), rel=1e-12)
+    # the square reduction needs the 8-byte field
+    assert var.components["square"] == sum(v * v for v in scaled)
+
+
+def test_no_matching_sources_gives_none(deployment: IntelLabSynthesizer) -> None:
+    cq = ContinuousQuery(
+        Query(AggregateKind.AVG, "temperature", Comparison("temperature", ">", 1000.0)),
+        N, scale=SCALE, seed=17, synthesizer=deployment,
+    )
+    answer = cq.run_epoch(1)
+    assert answer.value is None
+    assert answer.components["indicator"] == 0
+
+
+def test_reductions_use_independent_keys(deployment: IntelLabSynthesizer) -> None:
+    cq = ContinuousQuery(Query(AggregateKind.AVG), N, scale=SCALE, seed=17, synthesizer=deployment)
+    protocols = [sim.protocol for sim in cq.simulators.values()]
+    assert protocols[0].keys.master_key != protocols[1].keys.master_key
+
+
+def test_tampering_one_reduction_marks_answer_unverified(
+    deployment: IntelLabSynthesizer,
+) -> None:
+    cq = ContinuousQuery(Query(AggregateKind.AVG), N, scale=SCALE, seed=17, synthesizer=deployment)
+    protocol = cq.simulators["value"].protocol
+    cq.simulators["value"].channel.add_interceptor(
+        lambda m, e: _tamper(m, protocol.p) if e is EdgeClass.AGGREGATOR_TO_QUERIER else m
+    )
+    answer = cq.run_epoch(5)
+    assert not answer.verified
+    assert answer.value is None
+    assert answer.security_failure == "VerificationFailure"
+
+
+def _tamper(message, p):
+    import dataclasses
+
+    return dataclasses.replace(
+        message, psr=dataclasses.replace(message.psr, ciphertext=(message.psr.ciphertext + 7) % p)
+    )
+
+
+def test_cmt_backend(deployment: IntelLabSynthesizer) -> None:
+    cq = ContinuousQuery(
+        Query(AggregateKind.SUM), N, scale=SCALE, seed=17,
+        synthesizer=deployment, protocol="cmt",
+    )
+    answer = cq.run_epoch(1)
+    assert answer.value == pytest.approx(sum(_scaled(deployment, 1)) / SCALE)
+    assert not answer.verified  # CMT cannot verify
+
+
+def test_max_requires_secoa_m(deployment: IntelLabSynthesizer) -> None:
+    with pytest.raises(QueryError):
+        ContinuousQuery(Query(AggregateKind.MAX), N, synthesizer=deployment)
+    with pytest.raises(QueryError):
+        ContinuousQuery(Query(AggregateKind.SUM), N, protocol="secoa_m", synthesizer=deployment)
+
+
+def test_run_multiple_epochs(deployment: IntelLabSynthesizer) -> None:
+    cq = ContinuousQuery(Query(AggregateKind.SUM), N, scale=SCALE, seed=17, synthesizer=deployment)
+    answers = cq.run(4, start_epoch=2)
+    assert [a.epoch for a in answers] == [2, 3, 4, 5]
+    assert all(a.verified for a in answers)

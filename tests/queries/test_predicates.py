@@ -1,0 +1,85 @@
+"""WHERE-clause predicates: evaluation, composition, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.predicates import (
+    AlwaysTrue,
+    Comparison,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    parse_predicate,
+)
+
+READING = {"temperature": 25.0, "humidity": 40.0}
+
+
+@pytest.mark.parametrize(
+    "op,constant,expected",
+    [("<", 30.0, True), ("<", 25.0, False), ("<=", 25.0, True), (">", 20.0, True),
+     (">", 25.0, False), (">=", 25.0, True), ("==", 25.0, True), ("!=", 25.0, False)],
+)
+def test_comparison_operators(op: str, constant: float, expected: bool) -> None:
+    assert Comparison("temperature", op, constant).evaluate(READING) is expected
+
+
+def test_always_true() -> None:
+    assert AlwaysTrue().evaluate({}) is True
+    assert AlwaysTrue().serialize() == "true"
+
+
+def test_logical_composition_via_operators() -> None:
+    hot = Comparison("temperature", ">", 20.0)
+    humid = Comparison("humidity", ">", 50.0)
+    assert (hot & ~humid).evaluate(READING)
+    assert not (hot & humid).evaluate(READING)
+    assert (hot | humid).evaluate(READING)
+    assert not (~hot).evaluate(READING)
+
+
+def test_missing_attribute_raises() -> None:
+    with pytest.raises(QueryError, match="pressure"):
+        Comparison("pressure", ">", 1.0).evaluate(READING)
+
+
+def test_invalid_construction() -> None:
+    with pytest.raises(QueryError):
+        Comparison("temperature", "~", 1.0)
+    with pytest.raises(QueryError):
+        Comparison("1badname", ">", 1.0)
+
+
+@pytest.mark.parametrize(
+    "pred",
+    [
+        AlwaysTrue(),
+        Comparison("temperature", ">=", 20.0),
+        Comparison("t", "!=", -3.5),
+        LogicalAnd(Comparison("a", ">", 1.0), Comparison("b", "<", 2.0)),
+        LogicalOr(Comparison("a", ">", 1.0), LogicalNot(Comparison("b", "<=", 2.0))),
+    ],
+)
+def test_serialize_parse_roundtrip(pred) -> None:
+    assert parse_predicate(pred.serialize()) == pred
+
+
+def test_parse_precedence() -> None:
+    pred = parse_predicate("a>1&b<2|c==3")
+    # OR binds loosest: (a>1 & b<2) | c==3
+    assert pred.evaluate({"a": 0.0, "b": 0.0, "c": 3.0})
+    assert pred.evaluate({"a": 2.0, "b": 1.0, "c": 0.0})
+    assert not pred.evaluate({"a": 0.0, "b": 0.0, "c": 0.0})
+
+
+def test_parse_negation() -> None:
+    assert parse_predicate("!a>1").evaluate({"a": 0.0})
+    assert not parse_predicate("!a>1").evaluate({"a": 2.0})
+
+
+def test_parse_errors() -> None:
+    for bad in ("", "a>>1", "a", "temperature >", "a=1"):
+        with pytest.raises(QueryError):
+            parse_predicate(bad)

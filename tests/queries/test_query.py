@@ -1,0 +1,62 @@
+"""Query specifications and wire serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.predicates import Comparison
+from repro.queries.query import AggregateKind, Query
+
+
+def test_sql_rendering() -> None:
+    q = Query(AggregateKind.SUM, "temperature", epoch_duration_s=30)
+    assert q.sql() == "SELECT SUM(temperature) FROM Sensors EPOCH DURATION 30"
+    q = Query(AggregateKind.AVG, "humidity", Comparison("humidity", "<", 80.0), 7.5)
+    assert q.sql() == (
+        "SELECT AVG(humidity) FROM Sensors WHERE humidity<80 EPOCH DURATION 7.5"
+    )
+
+
+@pytest.mark.parametrize(
+    "kind,expected",
+    [
+        (AggregateKind.SUM, ("value",)),
+        (AggregateKind.COUNT, ("indicator",)),
+        (AggregateKind.AVG, ("value", "indicator")),
+        (AggregateKind.VARIANCE, ("value", "square", "indicator")),
+        (AggregateKind.STDDEV, ("value", "square", "indicator")),
+        (AggregateKind.MAX, ("value",)),
+    ],
+)
+def test_reduction_decomposition(kind: AggregateKind, expected: tuple[str, ...]) -> None:
+    assert Query(kind).reductions == expected
+
+
+def test_wire_roundtrip() -> None:
+    q = Query(
+        AggregateKind.VARIANCE, "temperature", Comparison("temperature", ">=", 20.0), 15.0
+    )
+    assert Query.from_wire(q.to_wire()) == q
+
+
+def test_wire_is_compact_json() -> None:
+    payload = Query(AggregateKind.SUM).to_wire()
+    assert b" " not in payload  # compact separators
+    assert payload.startswith(b"{")
+
+
+@pytest.mark.parametrize(
+    "junk",
+    [b"", b"not json", b"{}", b'{"agg":"SUM"}', b'{"agg":"NOPE","attr":"t","pred":"true","epoch_s":1}'],
+)
+def test_malformed_wire_rejected(junk: bytes) -> None:
+    with pytest.raises(QueryError):
+        Query.from_wire(junk)
+
+
+def test_validation() -> None:
+    with pytest.raises(QueryError):
+        Query(AggregateKind.SUM, epoch_duration_s=0)
+    with pytest.raises(QueryError):
+        Query(AggregateKind.SUM, attribute="")

@@ -1,0 +1,73 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_run_command(capsys) -> None:
+    assert main(["run", "--protocol", "sies", "--sources", "16", "--epochs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "epoch 1: exact result" in out and "(verified)" in out
+    assert "bytes per S-A msg" in out
+
+
+def test_run_cmt_is_unverified(capsys) -> None:
+    assert main(["run", "--protocol", "cmt", "--sources", "16", "--epochs", "1"]) == 0
+    assert "UNVERIFIED" in capsys.readouterr().out
+
+
+def test_query_command_with_predicate(capsys) -> None:
+    code = main([
+        "query", "--aggregate", "AVG", "--where", "temperature>=20",
+        "--sources", "16", "--epochs", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "SELECT AVG(temperature)" in out
+    assert "[verified]" in out
+
+
+def test_attack_tamper_on_sies_detected(capsys) -> None:
+    assert main(["attack", "--attack", "tamper", "--protocol", "sies",
+                 "--sources", "16", "--epochs", "3"]) == 0
+    assert "detected" in capsys.readouterr().out
+
+
+def test_attack_tamper_on_cmt_reports_silent_corruption(capsys) -> None:
+    assert main(["attack", "--attack", "tamper", "--protocol", "cmt",
+                 "--sources", "16", "--epochs", "3"]) == 0
+    assert "WRONG, accepted" in capsys.readouterr().out
+
+
+def test_attack_drop_and_replay(capsys) -> None:
+    assert main(["attack", "--attack", "drop", "--protocol", "sies",
+                 "--sources", "16", "--epochs", "2"]) == 0
+    assert main(["attack", "--attack", "replay", "--protocol", "sies",
+                 "--sources", "16", "--epochs", "3"]) == 0
+
+
+def test_bounds_command(capsys) -> None:
+    assert main(["bounds", "--sources", "1024"]) == 0
+    out = capsys.readouterr().out
+    assert "2^-224" in out
+    assert "meets paper margins: True" in out
+
+
+def test_bounds_short_shares(capsys) -> None:
+    assert main(["bounds", "--sources", "256", "--share-bytes", "4"]) == 0
+    assert "meets paper margins: False" in capsys.readouterr().out
+
+
+def test_experiment_table3(capsys) -> None:
+    assert main(["experiment", "table3"]) == 0
+    assert "Table III" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown(capsys) -> None:
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig99"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

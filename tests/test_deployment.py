@@ -1,0 +1,90 @@
+"""Full-lifecycle deployments: dissemination gap, steady state, re-tasking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deployment import Deployment
+from repro.queries.predicates import Comparison
+from repro.queries.query import AggregateKind, Query
+
+SUM_Q = Query(AggregateKind.SUM, "temperature")
+AVG_Q = Query(AggregateKind.AVG, "temperature", Comparison("temperature", ">=", 20.0))
+
+
+@pytest.fixture()
+def deployment() -> Deployment:
+    return Deployment(num_sources=16, seed=77)
+
+
+def test_idle_until_query_registers(deployment: Deployment) -> None:
+    entry = deployment.step()
+    assert entry.event == "idle"
+    assert deployment.active_query is None
+
+
+def test_query_activates_after_disclosure_delay(deployment: Deployment) -> None:
+    activation = deployment.issue_query(SUM_Q)
+    assert activation == 1 + deployment.disclosure_delay  # broadcast at epoch 1
+    # epochs before the key disclosure stay idle
+    for epoch in range(1, activation):
+        assert deployment.step().event == "idle", epoch
+    entry = deployment.step()
+    assert entry.event == "answer"
+    assert deployment.active_query == SUM_Q
+    assert entry.answer is not None and entry.answer.verified
+
+
+def test_answers_match_ground_truth(deployment: Deployment) -> None:
+    deployment.issue_query(SUM_Q)
+    deployment.run(5)
+    answers = deployment.answers()
+    assert answers, "steady state produced no answers"
+    for answer in answers:
+        truth = sum(
+            int(deployment._dataset.reading(m, answer.epoch).temperature_c * 100)
+            for m in range(16)
+        ) / 100
+        assert answer.value == pytest.approx(truth)
+
+
+def test_retasking_switches_queries(deployment: Deployment) -> None:
+    deployment.issue_query(SUM_Q)
+    deployment.run(4)
+    deployment.issue_query(AVG_Q)
+    deployment.run(4)
+    events = [(e.event, e.query_sql) for e in deployment.log]
+    # the registered log records both activations, in order
+    registrations = [sql for event, sql in events if event == "registered"]
+    assert registrations == [SUM_Q.sql(), AVG_Q.sql()]
+    # the final answers belong to the AVG query
+    last = deployment.log[-1]
+    assert last.event == "answer" and last.query_sql == AVG_Q.sql()
+    assert last.answer is not None and last.answer.value < 100  # an average, not a sum
+
+
+def test_registered_log_entries(deployment: Deployment) -> None:
+    deployment.issue_query(SUM_Q)
+    deployment.run(3)
+    assert [e.event for e in deployment.log][:4] == [
+        "broadcast", "idle", "idle", "registered",
+    ]
+
+
+def test_deterministic_replay() -> None:
+    def run() -> list[float]:
+        d = Deployment(num_sources=8, seed=5)
+        d.issue_query(SUM_Q)
+        d.run(5)
+        return [a.value for a in d.answers()]
+
+    assert run() == run()
+
+
+def test_max_requires_secoa_deployment() -> None:
+    d = Deployment(num_sources=8, seed=6)
+    d.issue_query(Query(AggregateKind.MAX, "temperature"))
+    from repro.errors import QueryError
+
+    with pytest.raises(QueryError):
+        d.run(d.disclosure_delay + 1)

@@ -1,0 +1,35 @@
+"""Smoke-run every example script: they are part of the public surface.
+
+Each example self-checks with assertions, so a zero exit status means
+the demonstrated behaviour (exact sums, attack detection, energy gap…)
+actually held.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_complete() -> None:
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "temperature_monitoring.py", "attack_detection.py",
+            "outsourced_aggregation.py", "energy_budget.py"} <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script: pathlib.Path) -> None:
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{script.name} failed:\n{result.stdout}\n{result.stderr}"
+    assert result.stdout.strip(), f"{script.name} produced no output"

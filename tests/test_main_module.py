@@ -1,0 +1,30 @@
+"""The ``python -m repro`` entry point."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+
+def test_main_module_runs() -> None:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--sources", "16", "--epochs", "2"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "SIES (ICDE 2011) reproduction" in result.stdout
+    assert "all verified: True" in result.stdout
+    assert "detected" in result.stdout
+
+
+def test_main_module_no_demo() -> None:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--no-demo"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0
+    assert "honest network" not in result.stdout

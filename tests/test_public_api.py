@@ -1,0 +1,65 @@
+"""The top-level public API surface (`import repro`)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+def test_version_string() -> None:
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_all_names_resolve() -> None:
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_protocol_classes_exported() -> None:
+    assert repro.SIESProtocol.name == "sies"
+    assert repro.CMTProtocol.name == "cmt"
+    assert repro.SECOAMaxProtocol.name == "secoa_m"
+    assert repro.SECOASumProtocol.name == "secoa_s"
+
+
+def test_docstring_quickstart_works() -> None:
+    """The package docstring's example must run verbatim-equivalently."""
+    from repro import SIESProtocol, build_complete_tree, NetworkSimulator
+    from repro.network.simulator import SimulationConfig
+    from repro.datasets import DomainScaledWorkload
+
+    protocol = SIESProtocol(num_sources=8, seed=7)
+    tree = build_complete_tree(8, fanout=4)
+    workload = DomainScaledWorkload(8, scale=100, seed=7)
+    metrics = NetworkSimulator(
+        protocol, tree, workload, SimulationConfig(num_epochs=2)
+    ).run()
+    assert metrics.all_verified()
+
+
+def test_error_hierarchy() -> None:
+    assert issubclass(errors.IntegrityError, errors.SecurityError)
+    assert issubclass(errors.FreshnessError, errors.SecurityError)
+    assert issubclass(errors.AuthenticationError, errors.SecurityError)
+    assert issubclass(errors.VerificationFailure, errors.IntegrityError)
+    assert issubclass(errors.SecurityError, errors.ReproError)
+    assert issubclass(errors.ParameterError, ValueError)
+    assert issubclass(errors.LayoutError, errors.ParameterError)
+
+
+def test_verification_failure_carries_epoch() -> None:
+    exc = errors.VerificationFailure("bad", epoch=7)
+    assert exc.epoch == 7
+    assert errors.VerificationFailure("bad").epoch is None
+
+
+def test_security_errors_catchable_as_one_family() -> None:
+    protocol = repro.SIESProtocol(2, seed=1)
+    psr = protocol.create_source(0).initialize(1, 5)
+    psr.ciphertext ^= 1
+    final = protocol.create_aggregator().merge(1, [psr, protocol.create_source(1).initialize(1, 5)])
+    with pytest.raises(errors.SecurityError):
+        protocol.create_querier().evaluate(1, final)

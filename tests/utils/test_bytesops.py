@@ -1,0 +1,72 @@
+"""Byte/int codecs and the XOR/constant-time helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.utils.bytesops import (
+    bytes_to_int,
+    constant_time_eq,
+    int_byte_length,
+    int_to_bytes,
+    xor_bytes,
+)
+
+
+def test_roundtrip_minimal_encoding() -> None:
+    for value in (0, 1, 255, 256, 2**64 - 1, 2**160, 12345678901234567890):
+        assert bytes_to_int(int_to_bytes(value)) == value
+
+
+def test_big_endian_order() -> None:
+    assert int_to_bytes(0x0102, 2) == b"\x01\x02"
+    assert bytes_to_int(b"\x01\x00") == 256
+
+
+def test_fixed_length_padding() -> None:
+    assert int_to_bytes(1, 4) == b"\x00\x00\x00\x01"
+    assert int_to_bytes(0, 8) == b"\x00" * 8
+
+
+def test_zero_gets_one_byte() -> None:
+    assert int_to_bytes(0) == b"\x00"
+    assert int_byte_length(0) == 1
+
+
+def test_overflow_raises_instead_of_truncating() -> None:
+    with pytest.raises(ParameterError):
+        int_to_bytes(256, 1)
+
+
+def test_negative_rejected() -> None:
+    with pytest.raises(ParameterError):
+        int_to_bytes(-1)
+    with pytest.raises(ParameterError):
+        int_byte_length(-1)
+
+
+def test_int_byte_length() -> None:
+    assert int_byte_length(255) == 1
+    assert int_byte_length(256) == 2
+    assert int_byte_length(2**160 - 1) == 20
+    assert int_byte_length(2**160) == 21
+
+
+def test_xor_bytes() -> None:
+    assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+    assert xor_bytes(b"abc", b"abc") == b"\x00\x00\x00"
+    # XOR is its own inverse — the aggregate-MAC property SECOA uses.
+    a, b = b"\x01\x02\x03", b"\xaa\xbb\xcc"
+    assert xor_bytes(xor_bytes(a, b), b) == a
+
+
+def test_xor_bytes_length_mismatch() -> None:
+    with pytest.raises(ParameterError):
+        xor_bytes(b"ab", b"abc")
+
+
+def test_constant_time_eq() -> None:
+    assert constant_time_eq(b"same", b"same")
+    assert not constant_time_eq(b"same", b"diff")
+    assert not constant_time_eq(b"same", b"same longer")

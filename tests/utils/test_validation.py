@@ -1,0 +1,53 @@
+"""Argument validators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.utils.validation import (
+    check_in_range,
+    check_nonnegative_int,
+    check_positive_int,
+    check_type,
+)
+
+
+def test_positive_int_accepts() -> None:
+    assert check_positive_int("n", 1) == 1
+    assert check_positive_int("n", 10**30) == 10**30
+
+
+@pytest.mark.parametrize("bad", [0, -1, 1.5, "3", None, True])
+def test_positive_int_rejects(bad) -> None:
+    with pytest.raises(ParameterError):
+        check_positive_int("n", bad)
+
+
+def test_nonnegative_int() -> None:
+    assert check_nonnegative_int("n", 0) == 0
+    with pytest.raises(ParameterError):
+        check_nonnegative_int("n", -1)
+    with pytest.raises(ParameterError):
+        check_nonnegative_int("n", False)  # bools are not counts
+
+
+def test_in_range_inclusive() -> None:
+    assert check_in_range("n", 5, 5, 10) == 5
+    assert check_in_range("n", 10, 5, 10) == 10
+    with pytest.raises(ParameterError):
+        check_in_range("n", 4, 5, 10)
+    with pytest.raises(ParameterError):
+        check_in_range("n", 11, 5, 10)
+
+
+def test_check_type() -> None:
+    assert check_type("x", "s", str) == "s"
+    assert check_type("x", 3, (int, float)) == 3
+    with pytest.raises(ParameterError):
+        check_type("x", 3, str)
+
+
+def test_error_messages_name_the_argument() -> None:
+    with pytest.raises(ParameterError, match="fanout"):
+        check_positive_int("fanout", -2)

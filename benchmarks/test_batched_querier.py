@@ -1,0 +1,101 @@
+"""Batched-pipeline throughput: sequential vs batched vs pooled.
+
+Records end-to-end epochs/sec for the three execution modes of
+:class:`~repro.network.simulator.NetworkSimulator` plus the isolated
+querier amortization (cold vs warm key-schedule cache), giving the next
+perf PR a trajectory baseline.  The differential harness guarantees all
+modes produce bit-identical results, so any throughput delta here is
+pure pipeline overhead/amortization.
+
+Run with::
+
+    PYTHONPATH=src pytest benchmarks/test_batched_querier.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import SIESProtocol
+from repro.datasets.workload import DomainScaledWorkload
+from repro.experiments.common import build_final_psr
+from repro.network.simulator import NetworkSimulator, SimulationConfig
+from repro.network.topology import build_complete_tree
+
+N = 256
+EPOCHS = 16
+WINDOW = 8
+SEED = 2011
+
+
+def _fresh_simulator() -> NetworkSimulator:
+    protocol = SIESProtocol(N, seed=SEED)
+    tree = build_complete_tree(N, fanout=4)
+    workload = DomainScaledWorkload(N, scale=100, seed=SEED)
+    return NetworkSimulator(protocol, tree, workload, SimulationConfig(num_epochs=EPOCHS))
+
+
+def _bench_run(benchmark, run) -> None:
+    state: dict[str, NetworkSimulator] = {}
+
+    def setup():
+        state["sim"] = _fresh_simulator()
+        return (), {}
+
+    def target():
+        return run(state["sim"])
+
+    metrics = benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+    assert metrics.num_epochs == EPOCHS
+    assert metrics.all_verified()
+    benchmark.extra_info["epochs_per_second"] = (
+        EPOCHS / benchmark.stats.stats.mean if benchmark.stats.stats.mean else float("inf")
+    )
+
+
+@pytest.mark.benchmark(group="batched-pipeline")
+def test_sequential_pipeline(benchmark) -> None:
+    _bench_run(benchmark, lambda sim: sim.run())
+
+
+@pytest.mark.benchmark(group="batched-pipeline")
+def test_batched_pipeline(benchmark) -> None:
+    _bench_run(benchmark, lambda sim: sim.run_batched(window=WINDOW))
+
+
+@pytest.mark.benchmark(group="batched-pipeline")
+def test_batched_pipeline_pooled(benchmark) -> None:
+    _bench_run(benchmark, lambda sim: sim.run_batched(window=WINDOW, max_workers=4))
+
+
+# ----------------------------------------------------------------------
+# Querier-only amortization: the KeyScheduleCache lever in isolation
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="batched-querier")
+def test_querier_cold(benchmark) -> None:
+    protocol = SIESProtocol(N, seed=SEED)
+    workload = DomainScaledWorkload(N, scale=100, seed=SEED)
+    finals = {
+        epoch: build_final_psr(protocol, epoch, [workload(i, epoch) for i in range(N)])
+        for epoch in range(1, EPOCHS + 1)
+    }
+    items = [(epoch, finals[epoch], None) for epoch in range(1, EPOCHS + 1)]
+    querier = protocol.create_querier()
+    benchmark.pedantic(querier.evaluate_many, args=(items,), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="batched-querier")
+def test_querier_warm_cache(benchmark) -> None:
+    protocol = SIESProtocol(N, seed=SEED)
+    workload = DomainScaledWorkload(N, scale=100, seed=SEED)
+    finals = {
+        epoch: build_final_psr(protocol, epoch, [workload(i, epoch) for i in range(N)])
+        for epoch in range(1, EPOCHS + 1)
+    }
+    items = [(epoch, finals[epoch], None) for epoch in range(1, EPOCHS + 1)]
+    cache = protocol.create_key_cache(capacity=EPOCHS)
+    querier = protocol.create_querier(key_cache=cache)
+    cache.prefetch(range(1, EPOCHS + 1))  # amortized outside the timed region
+    benchmark.pedantic(querier.evaluate_many, args=(items,), rounds=3, iterations=1)

@@ -13,7 +13,19 @@ Given the final ``PSR_f,t`` from the sink:
    integrity (Theorem 2) and freshness (Theorem 4).
 
 Node failures (Section IV-B, Discussion): when told which sources
-reported, the querier sums keys/shares over that subset only.
+reported, the querier sums keys/shares over that subset only.  The
+reporting subset is validated up front — an empty subset, a duplicate
+source id, or an out-of-range id would make the decryption silently
+produce garbage, so all three raise :class:`~repro.errors.ProtocolError`
+instead.
+
+Step 1 is the only per-epoch cost that does not depend on the incoming
+PSR, so it can be amortized: construct the querier with a
+:class:`~repro.crypto.keycache.KeyScheduleCache` and the temporal
+derivations are served from (and charged to) the cache — ``prefetch``
+a window once, then every evaluation against it performs zero HMAC
+work.  Without a cache the behaviour and op accounting are exactly the
+paper's.
 """
 
 from __future__ import annotations
@@ -23,15 +35,31 @@ from collections.abc import Sequence
 from repro.core.keys import SIESKeyMaterial
 from repro.core.layout import MessageLayout
 from repro.core.source import SIESRecord
+from repro.crypto.keycache import KeyScheduleCache
 from repro.crypto.modular import modinv
-from repro.errors import LayoutError, ProtocolError, VerificationFailure
+from repro.errors import LayoutError, ProtocolError, SecurityError, VerificationFailure
 from repro.protocols.base import EvaluationResult, OpCounter, PartialStateRecord, QuerierRole
 
 __all__ = ["SIESQuerier"]
 
 
 class SIESQuerier(QuerierRole):
-    """Holds all key material; decrypts and verifies the final PSR."""
+    """Holds all key material; decrypts and verifies the final PSR.
+
+    Parameters
+    ----------
+    keys:
+        The querier's complete key state.
+    layout:
+        The Fig. 2 message layout shared with the sources.
+    ops:
+        Optional ledger for primitive-operation counts.
+    key_cache:
+        Optional :class:`~repro.crypto.keycache.KeyScheduleCache` over
+        *keys* (or an equivalent provider).  When present, temporal
+        derivations go through the cache and HMAC operations are
+        charged to *ops* only for actual cache misses.
+    """
 
     def __init__(
         self,
@@ -39,11 +67,17 @@ class SIESQuerier(QuerierRole):
         layout: MessageLayout,
         *,
         ops: OpCounter | None = None,
+        key_cache: KeyScheduleCache | None = None,
     ) -> None:
         self._keys = keys
         self._layout = layout
         self._p = keys.p
         self._ops = ops
+        self._cache = key_cache
+
+    @property
+    def key_cache(self) -> KeyScheduleCache | None:
+        return self._cache
 
     def evaluate(
         self,
@@ -54,29 +88,17 @@ class SIESQuerier(QuerierRole):
     ) -> EvaluationResult:
         if not isinstance(psr, SIESRecord):
             raise ProtocolError(f"SIES querier received foreign PSR {type(psr).__name__}")
-        keys = self._keys
-        contributors = (
-            list(range(keys.num_sources)) if reporting_sources is None else list(reporting_sources)
-        )
-        if not contributors:
-            raise ProtocolError("cannot evaluate an epoch with no reporting sources")
+        contributors = self._validated_contributors(reporting_sources)
         n = len(contributors)
 
         # --- Recompute temporal material (N+1 HM256, N HM1) -------------
-        k_t = keys.master_key_at(epoch)
-        pad_sum = 0
-        share_sum = 0
-        for source_id in contributors:
-            pad_sum = (pad_sum + keys.source_pad_at(source_id, epoch)) % self._p
-            share_sum += self._layout.truncate_share(keys.share_digest_at(source_id, epoch))
+        k_t, pad_sum, share_sum = self._temporal_material(epoch, contributors)
 
         # --- Decrypt the aggregate ---------------------------------------
         k_t_inverse = modinv(k_t, self._p)
         aggregate_plaintext = ((psr.ciphertext - pad_sum) * k_t_inverse) % self._p
 
         if self._ops is not None:
-            self._ops.add("hm256", n + 1)
-            self._ops.add("hm1", n)
             self._ops.add("add32", 2 * n - 1)
             self._ops.add("inv32", 1)
             self._ops.add("mul32", 1)
@@ -105,3 +127,91 @@ class SIESQuerier(QuerierRole):
             exact=True,
             extras={"secret": extracted_secret, "contributors": n},
         )
+
+    def evaluate_many(
+        self,
+        items: Sequence[tuple[int, PartialStateRecord, Sequence[int] | None]],
+    ) -> list[EvaluationResult | SecurityError]:
+        """Evaluate a window of final PSRs (batched pipeline entry point).
+
+        Every item's reporting subset is validated *before* any
+        evaluation runs, so caller errors (empty subset, duplicate or
+        out-of-range ids) raise :class:`~repro.errors.ProtocolError`
+        eagerly for the whole batch.  Security failures are captured
+        per item — see :meth:`QuerierRole.evaluate_many`.
+
+        With a warm :class:`~repro.crypto.keycache.KeyScheduleCache`
+        the whole batch performs zero HMAC evaluations; with a cold
+        cache (or none) each epoch costs the paper's ``N+1`` HM256 +
+        ``N`` HM1, exactly like sequential evaluation.
+        """
+        batch = list(items)
+        for _, _, reporting_sources in batch:
+            self._validated_contributors(reporting_sources)
+        outcomes: list[EvaluationResult | SecurityError] = []
+        for epoch, psr, reporting_sources in batch:
+            try:
+                outcomes.append(self.evaluate(epoch, psr, reporting_sources=reporting_sources))
+            except SecurityError as exc:
+                outcomes.append(exc)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _validated_contributors(self, reporting_sources: Sequence[int] | None) -> list[int]:
+        """The contributing source ids, validated against silent garbage.
+
+        A wrong subset does not fail loudly on its own: the decryption
+        simply subtracts the wrong pad sum and the share check rejects
+        an honest result (or worse, an empty product decrypts nothing
+        meaningful).  These are caller errors, not attacks, so they
+        raise :class:`~repro.errors.ProtocolError` up front.
+        """
+        num_sources = self._keys.num_sources
+        if reporting_sources is None:
+            return list(range(num_sources))
+        contributors = list(reporting_sources)
+        if not contributors:
+            raise ProtocolError("cannot evaluate an epoch with no reporting sources")
+        seen: set[int] = set()
+        for source_id in contributors:
+            if not 0 <= source_id < num_sources:
+                raise ProtocolError(
+                    f"reporting source id {source_id} is outside [0, {num_sources})"
+                )
+            if source_id in seen:
+                raise ProtocolError(
+                    f"duplicate reporting source id {source_id}: each source contributes "
+                    "exactly one pad and one share per epoch"
+                )
+            seen.add(source_id)
+        return contributors
+
+    def _temporal_material(self, epoch: int, contributors: list[int]) -> tuple[int, int, int]:
+        """``(K_t, Σ k_i,t mod p, Σ truncated ss_i,t)`` for the epoch.
+
+        Direct derivation charges the full ``N+1``/``N`` HMAC cost;
+        the cached path charges only actual misses (the cache does the
+        accounting), so op counts stay honest in both modes.
+        """
+        cache = self._cache
+        truncate = self._layout.truncate_share
+        pad_sum = 0
+        share_sum = 0
+        if cache is None:
+            keys = self._keys
+            k_t = keys.master_key_at(epoch)
+            for source_id in contributors:
+                pad_sum = (pad_sum + keys.source_pad_at(source_id, epoch)) % self._p
+                share_sum += truncate(keys.share_digest_at(source_id, epoch))
+            if self._ops is not None:
+                self._ops.add("hm256", len(contributors) + 1)
+                self._ops.add("hm1", len(contributors))
+        else:
+            k_t = cache.master_key_at(epoch, ops=self._ops)
+            for source_id in contributors:
+                pad_sum = (pad_sum + cache.source_pad_at(source_id, epoch, ops=self._ops)) % self._p
+                share_sum += truncate(cache.share_digest_at(source_id, epoch, ops=self._ops))
+        return k_t, pad_sum, share_sum

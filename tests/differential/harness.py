@@ -1,0 +1,185 @@
+"""Differential harness: the batched pipeline must equal the sequential one.
+
+Every perf-oriented change to the epoch pipeline rides on the same
+contract: replay an *identical* workload — same keys, same topology,
+same failures, same adversary — through ``NetworkSimulator.run`` and
+``NetworkSimulator.run_batched`` and require
+
+* **ciphertexts** — every PSR observed on the channel (post-adversary)
+  is bit-identical, keyed by ``(epoch, sender)``;
+* **results** — per-epoch decrypted SUMs match (or are absent in both);
+* **verdicts** — per-epoch accept/reject outcomes and security-failure
+  class names match (no detection divergence, no false-positive skew);
+* **op counts** — the source/aggregator/querier primitive-operation
+  ledgers are equal, so the fast path cannot silently do different
+  (or skipped) crypto;
+* **traffic** — per-edge byte/message counters match.
+
+Both paths get fresh protocol/simulator/adversary instances built from
+the same :class:`RunSpec` (seeded key generation makes them
+key-identical), because interceptors and channels are stateful.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.attacks.adversary import Eavesdropper
+from repro.core.protocol import SIESProtocol
+from repro.datasets.workload import UniformWorkload
+from repro.network.channel import Interceptor
+from repro.network.metrics import RunMetrics
+from repro.network.simulator import NetworkSimulator, SimulationConfig
+from repro.network.topology import build_complete_tree
+from repro.protocols.base import SecureAggregationProtocol
+
+__all__ = [
+    "RunSpec",
+    "PathTrace",
+    "execute_path",
+    "run_both_paths",
+    "assert_equivalent",
+    "count_combinations",
+]
+
+#: Builds a fresh adversary for a freshly-built protocol instance.
+AttackFactory = Callable[[SecureAggregationProtocol], Interceptor]
+
+
+@dataclass
+class RunSpec:
+    """A complete, reproducible scenario both execution paths replay."""
+
+    num_sources: int
+    fanout: int = 3
+    num_epochs: int = 8
+    key_seed: int = 7
+    workload_seed: int = 11
+    value_range: tuple[int, int] = (0, 900)
+    #: Sources failed for the whole run (reported to the querier).
+    static_failures: frozenset[int] = field(default_factory=frozenset)
+    #: ``source_id -> epochs`` dynamic (per-epoch) reported failures.
+    dynamic_failures: Mapping[int, tuple[int, ...]] = field(default_factory=dict)
+    attack_factory: AttackFactory | None = None
+    #: Batched-path knobs (ignored by the sequential path).
+    window: int = 4
+    max_workers: int | None = None
+    cache_capacity: int | None = None
+    protocol_factory: Callable[["RunSpec"], SecureAggregationProtocol] | None = None
+
+    def build_protocol(self) -> SecureAggregationProtocol:
+        if self.protocol_factory is not None:
+            return self.protocol_factory(self)
+        return SIESProtocol(self.num_sources, seed=self.key_seed)
+
+
+@dataclass
+class PathTrace:
+    """Everything one execution path produced that the contract compares."""
+
+    metrics: RunMetrics
+    #: ``(epoch, sender) -> ciphertext`` for every channel-observed PSR.
+    ciphertexts: dict[tuple[int, int], int]
+
+    @property
+    def verdicts(self) -> list[tuple[int, str | None]]:
+        return [(em.epoch, em.security_failure) for em in self.metrics.epochs]
+
+    @property
+    def sums(self) -> list[int | None]:
+        return [em.result.value if em.result is not None else None for em in self.metrics.epochs]
+
+
+def execute_path(spec: RunSpec, *, batched: bool) -> PathTrace:
+    """Build the scenario from scratch and run one execution path."""
+    protocol = spec.build_protocol()
+    tree = build_complete_tree(spec.num_sources, spec.fanout)
+    workload = UniformWorkload(
+        spec.num_sources, spec.value_range[0], spec.value_range[1], seed=spec.workload_seed
+    )
+    simulator = NetworkSimulator(
+        protocol,
+        tree,
+        workload,
+        SimulationConfig(num_epochs=spec.num_epochs, failed_sources=spec.static_failures),
+    )
+    for source_id, epochs in spec.dynamic_failures.items():
+        simulator.fail_source_at(source_id, epochs)
+    if spec.attack_factory is not None:
+        simulator.channel.add_interceptor(spec.attack_factory(protocol))
+    # The spy sits *after* the adversary, so it records what the
+    # receivers actually saw — attack effects included.
+    spy = Eavesdropper()
+    simulator.channel.add_interceptor(spy)
+
+    if batched:
+        metrics = simulator.run_batched(
+            window=spec.window,
+            max_workers=spec.max_workers,
+            cache_capacity=spec.cache_capacity,
+        )
+    else:
+        metrics = simulator.run()
+
+    ciphertexts = {
+        (epoch, sender): psr.ciphertext
+        for (epoch, sender, psr) in spy.observations
+        if hasattr(psr, "ciphertext")
+    }
+    return PathTrace(metrics=metrics, ciphertexts=ciphertexts)
+
+
+def run_both_paths(spec: RunSpec) -> tuple[PathTrace, PathTrace]:
+    return execute_path(spec, batched=False), execute_path(spec, batched=True)
+
+
+def assert_equivalent(sequential: PathTrace, batched: PathTrace, *, context: str = "") -> None:
+    """Assert the full differential contract between the two traces."""
+    label = f" [{context}]" if context else ""
+
+    assert batched.ciphertexts == sequential.ciphertexts, (
+        f"channel ciphertexts diverged{label}"
+    )
+
+    seq_epochs = sequential.metrics.epochs
+    bat_epochs = batched.metrics.epochs
+    assert [em.epoch for em in seq_epochs] == [em.epoch for em in bat_epochs], (
+        f"epoch schedule diverged{label}"
+    )
+    for seq_em, bat_em in zip(seq_epochs, bat_epochs):
+        assert seq_em.security_failure == bat_em.security_failure, (
+            f"verdict diverged at epoch {seq_em.epoch}{label}: "
+            f"sequential={seq_em.security_failure!r} batched={bat_em.security_failure!r}"
+        )
+        seq_value = seq_em.result.value if seq_em.result is not None else None
+        bat_value = bat_em.result.value if bat_em.result is not None else None
+        assert seq_value == bat_value, (
+            f"SUM diverged at epoch {seq_em.epoch}{label}: {seq_value} != {bat_value}"
+        )
+        assert seq_em.sources_reporting == bat_em.sources_reporting, label
+        assert seq_em.aggregator_merges == bat_em.aggregator_merges, label
+
+    for role in ("source_ops", "aggregator_ops", "querier_ops"):
+        seq_counts = getattr(sequential.metrics, role).counts
+        bat_counts = getattr(batched.metrics, role).counts
+        assert seq_counts == bat_counts, (
+            f"{role} diverged{label}: sequential={seq_counts} batched={bat_counts}"
+        )
+
+    assert (
+        batched.metrics.traffic.bytes_by_class == sequential.metrics.traffic.bytes_by_class
+    ), f"traffic bytes diverged{label}"
+    assert (
+        batched.metrics.traffic.messages_by_class == sequential.metrics.traffic.messages_by_class
+    ), f"traffic messages diverged{label}"
+
+
+def count_combinations(specs: Iterable[RunSpec]) -> int:
+    """Epoch/failure/tamper combinations a spec list exercises.
+
+    Each simulated epoch is one (epoch × failure-set × tamper-state)
+    point of the differential contract — the acceptance criterion
+    requires ≥ 200 of them.
+    """
+    return sum(spec.num_epochs for spec in specs)

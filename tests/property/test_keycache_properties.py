@@ -1,0 +1,139 @@
+"""Property tests for the key-schedule cache (seeded random, no deps).
+
+For random ``(num_sources, epochs, capacity)`` draws the cached key
+schedule must equal direct :class:`~repro.core.keys.SIESKeyMaterial`
+recomputation — entry by entry, including after LRU eviction and after
+re-prefetching evicted epochs.  The cache must also keep its op-count
+accounting honest: HMAC charges only for derivations that actually ran.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.keys import SIESKeyMaterial
+from repro.core.params import SIESParams
+from repro.crypto.keycache import KeyScheduleCache
+from repro.errors import ParameterError
+from repro.protocols.base import OpCounter
+
+CASES = 20
+
+
+def _material(rng: random.Random) -> tuple[SIESKeyMaterial, int]:
+    num_sources = rng.randrange(1, 33)
+    params = SIESParams(num_sources=num_sources)
+    return SIESKeyMaterial.generate(num_sources, params.p, seed=rng.randrange(1, 10_000)), (
+        num_sources
+    )
+
+
+def _reference(keys: SIESKeyMaterial, epoch: int, source_id: int) -> tuple[int, int, bytes]:
+    return (
+        keys.master_key_at(epoch),
+        keys.source_pad_at(source_id, epoch),
+        keys.share_digest_at(source_id, epoch),
+    )
+
+
+@pytest.mark.parametrize("case", range(CASES))
+def test_cached_schedule_equals_direct_recomputation(case: int) -> None:
+    rng = random.Random(5200 + case)
+    keys, num_sources = _material(rng)
+    epochs = rng.sample(range(1, 1000), rng.randrange(2, 12))
+    capacity = rng.randrange(1, len(epochs) + 4)
+    cache = KeyScheduleCache(keys, capacity=capacity)
+
+    cache.prefetch(epochs)
+    probes = [
+        (epoch, sid)
+        for epoch in rng.sample(epochs, len(epochs))
+        for sid in rng.sample(range(num_sources), min(num_sources, 5))
+    ]
+    for epoch, sid in probes:
+        assert cache.master_key_at(epoch) == keys.master_key_at(epoch)
+        assert cache.source_pad_at(sid, epoch) == keys.source_pad_at(sid, epoch)
+        assert cache.share_digest_at(sid, epoch) == keys.share_digest_at(sid, epoch)
+
+    if capacity < len(epochs):
+        assert cache.evictions > 0
+    assert len(cache.cached_epochs) <= capacity
+
+    # Evicted epochs must transparently re-derive the same values, and a
+    # full re-prefetch must leave the cache equally correct.
+    cache.prefetch(epochs)
+    for epoch, sid in probes:
+        assert cache.source_pad_at(sid, epoch) == keys.source_pad_at(sid, epoch)
+        assert cache.share_digest_at(sid, epoch) == keys.share_digest_at(sid, epoch)
+
+
+@pytest.mark.parametrize("case", range(5))
+def test_subset_prefetch_matches_reference(case: int) -> None:
+    """Prefetching a reporting subset caches exactly that subset."""
+    rng = random.Random(7100 + case)
+    keys, num_sources = _material(rng)
+    if num_sources < 2:
+        num_sources = 2
+        params = SIESParams(num_sources=num_sources)
+        keys = SIESKeyMaterial.generate(num_sources, params.p, seed=77)
+    subset = rng.sample(range(num_sources), rng.randrange(1, num_sources))
+    epoch = rng.randrange(1, 500)
+    ops = OpCounter()
+    cache = KeyScheduleCache(keys, capacity=4, ops=ops)
+    cache.prefetch([epoch], source_ids=subset)
+
+    # Exactly |subset| pads + 1 master (HM256) and |subset| shares (HM1).
+    assert ops.get("hm256") == len(subset) + 1
+    assert ops.get("hm1") == len(subset)
+    for sid in subset:
+        assert cache.source_pad_at(sid, epoch) == keys.source_pad_at(sid, epoch)
+    # The subset accesses above were all hits: no new charges.
+    assert ops.get("hm256") == len(subset) + 1
+
+
+def test_hits_and_misses_charge_ops_honestly() -> None:
+    keys, _ = _material(random.Random(31337))
+    ops = OpCounter()
+    cache = KeyScheduleCache(keys, capacity=8, ops=ops)
+
+    cache.master_key_at(3)
+    assert (cache.hits, cache.misses) == (0, 1)
+    assert ops.get("hm256") == 1
+    cache.master_key_at(3)
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert ops.get("hm256") == 1  # hit: no charge
+
+    cache.share_digest_at(0, 3)
+    assert ops.get("hm1") == 1
+    cache.share_digest_at(0, 3)
+    assert ops.get("hm1") == 1
+
+    # Per-call override ledgers take precedence over the default one.
+    override = OpCounter()
+    cache.source_pad_at(0, 99, ops=override)
+    assert override.get("hm256") == 1
+    assert ops.get("hm256") == 1
+
+
+def test_lru_eviction_prefers_least_recently_used() -> None:
+    keys, _ = _material(random.Random(4))
+    cache = KeyScheduleCache(keys, capacity=2)
+    cache.master_key_at(1)
+    cache.master_key_at(2)
+    cache.master_key_at(1)  # refresh epoch 1
+    cache.master_key_at(3)  # evicts epoch 2, not epoch 1
+    assert set(cache.cached_epochs) == {1, 3}
+    assert cache.evictions == 1
+
+
+def test_cache_rejects_bad_parameters() -> None:
+    keys, num_sources = _material(random.Random(9))
+    with pytest.raises(ParameterError):
+        KeyScheduleCache(keys, capacity=0)
+    cache = KeyScheduleCache(keys, capacity=2)
+    with pytest.raises(ParameterError):
+        cache.source_pad_at(num_sources, 1)
+    with pytest.raises(ParameterError):
+        cache.share_digest_at(-1, 1)

@@ -49,6 +49,7 @@ from repro.protocols.base import EvaluationResult, SecureAggregationProtocol
 from repro.protocols.registry import available_protocols, create_protocol
 from repro.queries.engine import ContinuousQuery, QueryAnswer
 from repro.queries.query import AggregateKind, Query
+from repro.runtime import FaultPlan, RetransmitPolicy, RuntimeConfig, RuntimeSimulator
 
 __all__ = [
     "__version__",
@@ -66,6 +67,11 @@ __all__ = [
     "SimulationConfig",
     "build_complete_tree",
     "build_random_tree",
+    # fault-injecting event runtime
+    "RuntimeSimulator",
+    "RuntimeConfig",
+    "FaultPlan",
+    "RetransmitPolicy",
     # workloads & queries
     "DomainScaledWorkload",
     "UniformWorkload",

@@ -5,6 +5,9 @@ Commands
 
 ``run``        simulate a protocol over a generated network and print
                per-epoch verified results and cost summaries;
+``runtime``    run the fault-injecting event runtime — seeded loss,
+               per-hop retransmission, loss recovery — and print the
+               per-epoch recovery outcomes plus transport metrics;
 ``query``      execute a continuous aggregate query (the paper's
                SELECT template) and print per-epoch answers;
 ``attack``     mount a named adversary and report detection outcomes;
@@ -14,6 +17,7 @@ Commands
 Examples::
 
     python -m repro.cli run --protocol sies --sources 64 --epochs 5
+    python -m repro.cli runtime --sources 64 --epochs 20 --loss 0.2
     python -m repro.cli query --aggregate AVG --where "temperature>=20" --sources 32
     python -m repro.cli attack --attack replay --protocol sies
     python -m repro.cli experiment fig5
@@ -53,6 +57,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--epochs", type=int, default=5)
     run_p.add_argument("--scale", type=int, default=100)
     run_p.add_argument("--seed", type=int, default=2011)
+
+    runtime_p = sub.add_parser("runtime", help="fault-injecting event runtime")
+    runtime_p.add_argument("--protocol", default="sies", choices=sorted(available_protocols()))
+    runtime_p.add_argument("--sources", type=int, default=64)
+    runtime_p.add_argument("--fanout", type=int, default=4)
+    runtime_p.add_argument("--epochs", type=int, default=20)
+    runtime_p.add_argument("--loss", type=float, default=0.2,
+                           help="per-hop loss probability (default 0.2)")
+    runtime_p.add_argument("--latency", type=float, default=1.0,
+                           help="base per-hop latency in logical ticks")
+    runtime_p.add_argument("--duplicate", type=float, default=0.0,
+                           help="per-hop duplication probability")
+    runtime_p.add_argument("--max-retries", type=int, default=4)
+    runtime_p.add_argument("--ack-timeout", type=float, default=12.0)
+    runtime_p.add_argument("--scale", type=int, default=100)
+    runtime_p.add_argument("--seed", type=int, default=2011)
+    runtime_p.add_argument("--json", action="store_true",
+                           help="print the full deterministic metrics ledger as JSON")
 
     query_p = sub.add_parser("query", help="run a continuous aggregate query")
     query_p.add_argument("--aggregate", default="SUM",
@@ -111,6 +133,75 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"mean evaluation  : {metrics.mean_querier_seconds() * 1e3:10.2f} ms")
     for edge in EdgeClass:
         print(f"bytes per {edge.value} msg : {metrics.traffic.mean_bytes_per_message(edge):10.0f}")
+    return 0
+
+
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime import (
+        FaultPlan,
+        LinkProfile,
+        RetransmitPolicy,
+        RuntimeConfig,
+        RuntimeSimulator,
+    )
+
+    kwargs = {"seed": args.seed}
+    if args.protocol == "secoa_s":
+        kwargs["num_sketches"] = 50
+    protocol = create_protocol(args.protocol, args.sources, **kwargs)
+    workload = DomainScaledWorkload(args.sources, scale=args.scale, seed=args.seed)
+    config = RuntimeConfig(
+        num_epochs=args.epochs,
+        plan=FaultPlan(
+            default_profile=LinkProfile(
+                loss_rate=args.loss,
+                latency=args.latency,
+                duplicate_rate=args.duplicate,
+            )
+        ),
+        policy=RetransmitPolicy(max_retries=args.max_retries, ack_timeout=args.ack_timeout),
+        seed=args.seed,
+    )
+    simulator = RuntimeSimulator(
+        protocol, build_complete_tree(args.sources, args.fanout), workload, config
+    )
+    metrics = simulator.run()
+    if args.json:
+        print(json.dumps(metrics.ledger(), indent=2))
+        return 0
+
+    for em in metrics.epochs:
+        if em.security_failure:
+            print(f"epoch {em.epoch}: LOST ({em.security_failure})")
+            continue
+        assert em.result is not None
+        tag = "verified" if em.result.verified else "UNVERIFIED"
+        if em.recovery.complete:
+            detail = "all sources"
+        else:
+            lost = sorted(em.recovery.lost)
+            detail = f"recovered {len(em.recovery.survivors)}/{args.sources}, lost {lost}"
+        print(
+            f"epoch {em.epoch}: result {em.result.value} ({tag}, {detail}, "
+            f"latency {em.completion_latency:.1f})"
+        )
+
+    ledger = metrics.ledger()
+    print(f"\ndelivery rate    : {metrics.delivery_rate():8.4f}")
+    print(f"acceptance rate  : {metrics.acceptance_rate():8.4f}")
+    print(f"retransmissions  : {metrics.retransmissions_total():8d}")
+    for edge in EdgeClass:
+        retries = metrics.transport.retransmissions.get(edge, 0)
+        print(f"  on {edge.value} links : {retries:8d}")
+    latency = ledger["latency"]
+    print(
+        "completion latency: "
+        f"p50 {latency['p50']:.1f}  p90 {latency['p90']:.1f}  "
+        f"p99 {latency['p99']:.1f}  max {latency['max']:.1f}"
+    )
+    print(f"events processed : {metrics.events_processed:8d}")
     return 0
 
 
@@ -179,6 +270,7 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "runtime": _cmd_runtime,
     "query": _cmd_query,
     "attack": _cmd_attack,
     "experiment": _cmd_experiment,

@@ -279,6 +279,7 @@ class NetworkSimulator:
         # Bottom-up order guarantees every child (for every epoch of the
         # window) has delivered before an aggregator's batch is drained.
         final_psrs: dict[int, PartialStateRecord | None] = {epoch: None for epoch in wepochs}
+        sent_to_querier: set[int] = set()
         for aid in self._merge_schedule:
             batch = []
             for epoch in wepochs:
@@ -300,6 +301,7 @@ class NetworkSimulator:
                     start = time.perf_counter()
                     merged = aggregator.finalize_for_querier(merged)
                     ems[epoch].aggregator_seconds_total += time.perf_counter() - start
+                    sent_to_querier.add(epoch)
                     final_psrs[epoch] = self._deliver_to_querier(
                         DataMessage(aid, receiver, epoch, merged)
                     )
@@ -312,8 +314,12 @@ class NetworkSimulator:
             for epoch in wepochs:
                 if final_psrs[epoch] is None:
                     # The paper treats a missing report as a trivially
-                    # detected DoS; we record it the same way.
-                    ems[epoch].security_failure = "NoResult"
+                    # detected DoS.  A final PSR that was *transmitted*
+                    # and then swallowed on the last hop is recorded
+                    # distinctly from one that was never produced.
+                    ems[epoch].security_failure = (
+                        "MessageLost" if epoch in sent_to_querier else "NoResult"
+                    )
                     continue
                 all_reported = len(reporting[epoch]) == tree.num_sources
                 eval_items.append(
@@ -360,6 +366,7 @@ class NetworkSimulator:
 
         # --- Merging phase, bottom-up -----------------------------------
         final_psr: PartialStateRecord | None = None
+        sent_to_querier = False
         for aid in self._merge_schedule:
             received = inboxes.pop(aid, [])
             if not received:
@@ -375,6 +382,7 @@ class NetworkSimulator:
                 merged = self._aggregators[aid].finalize_for_querier(merged)
                 em.aggregator_seconds_total += time.perf_counter() - start
                 message = DataMessage(aid, receiver, epoch, merged)
+                sent_to_querier = True
                 final_psr = self._deliver_to_querier(message)
             else:
                 self._deliver(DataMessage(aid, receiver, epoch, merged), inboxes)
@@ -383,8 +391,10 @@ class NetworkSimulator:
         if self.config.evaluate:
             if final_psr is None:
                 # The paper treats a missing report as a trivially detected
-                # DoS; we record it the same way.
-                em.security_failure = "NoResult"
+                # DoS.  A final PSR dropped on its last hop (the channel
+                # transmitted it, an interceptor returned None) is a
+                # distinct event from no PSR ever being produced.
+                em.security_failure = "MessageLost" if sent_to_querier else "NoResult"
             else:
                 try:
                     start = time.perf_counter()

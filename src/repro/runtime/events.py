@@ -1,0 +1,106 @@
+"""Deterministic discrete-event scheduler for the fault-injecting runtime.
+
+The runtime must replay bit-identically run-to-run — acceptance tests
+compare whole metrics ledgers across runs — so time here is *logical*:
+a monotonically increasing float advanced only by event processing,
+never by wall clocks.  Determinism rests on two invariants:
+
+* events fire in ``(time, sequence)`` order, where the sequence number
+  is assigned at scheduling time — ties are broken by scheduling order,
+  which is itself deterministic;
+* no component reads ``time.time()``/``random`` globals; all randomness
+  flows through :class:`~repro.utils.rng.DeterministicRandom` streams
+  owned by the fault injector and transport.
+
+The scheduler is intentionally minimal (a binary heap and a cancel
+flag): protocols and transports build timers, timeouts and deadlines
+out of :meth:`EventScheduler.call_at` / :meth:`call_later` alone.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = ["EventScheduler", "ScheduledEvent"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A pending callback; comparable by ``(time, seq)`` for the heap."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; the scheduler skips it on pop."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """A logical-clock event loop (smallest ``(time, seq)`` first)."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[ScheduledEvent] = []
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current logical time (advances only when events fire)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def call_at(self, when: float, action: Callable[[], None]) -> ScheduledEvent:
+        """Schedule *action* at absolute logical time *when*."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {when} < now={self._now}"
+            )
+        event = ScheduledEvent(time=when, seq=self._seq, action=action)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_later(self, delay: float, action: Callable[[], None]) -> ScheduledEvent:
+        """Schedule *action* after a non-negative logical *delay*."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.call_at(self._now + delay, action)
+
+    def run(self, *, until: Callable[[], bool] | None = None, max_events: int = 10_000_000) -> None:
+        """Process events in order until the heap drains (or *until* is true).
+
+        *max_events* is a runaway backstop: a transport bug that
+        reschedules forever should fail loudly, not hang the suite.
+        """
+        processed = 0
+        while self._heap:
+            if until is not None and until():
+                return
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action()
+            self._processed += 1
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {max_events} events — "
+                    "likely a rescheduling loop in a timer"
+                )

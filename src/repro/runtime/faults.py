@@ -1,0 +1,201 @@
+"""Seeded link and node fault models for the event runtime.
+
+A :class:`FaultPlan` declares *what can go wrong*: per-edge-class link
+profiles (loss rate, latency, jitter, duplication), time-windowed burst
+losses, and node crash/recover churn.  A :class:`FaultInjector` turns
+the plan into deterministic per-transmission verdicts.
+
+Determinism: every edge gets its own
+:class:`~repro.utils.rng.DeterministicRandom` child stream keyed by the
+``sender->receiver`` pair, and every :meth:`FaultInjector.attempt` call
+draws a *fixed* number of variates from that stream regardless of the
+verdict, so a changed loss outcome on one attempt never perturbs the
+latency of the next.  Two runs with the same plan and seed therefore
+produce identical fault sequences — the property the acceptance tests
+assert by comparing whole metrics ledgers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.network.channel import EdgeClass
+from repro.utils.rng import DeterministicRandom
+
+__all__ = [
+    "LinkProfile",
+    "BurstLoss",
+    "NodeOutage",
+    "FaultPlan",
+    "LinkVerdict",
+    "FaultInjector",
+]
+
+
+def _check_rate(name: str, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ParameterError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Steady-state behaviour of one radio link (or edge class).
+
+    ``latency`` is the base one-way propagation in logical time units;
+    each transmission adds ``uniform(0, jitter)`` on top, which also
+    models reordering — two packets sent back-to-back may arrive
+    swapped whenever the jitter window exceeds the send gap.
+    """
+
+    loss_rate: float = 0.0
+    latency: float = 1.0
+    jitter: float = 0.5
+    duplicate_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("loss_rate", self.loss_rate)
+        _check_rate("duplicate_rate", self.duplicate_rate)
+        if self.latency < 0 or self.jitter < 0:
+            raise ParameterError("latency and jitter must be non-negative")
+
+
+@dataclass(frozen=True)
+class BurstLoss:
+    """Elevated loss on a time window — models interference bursts.
+
+    During ``[start, end)`` the effective loss rate on matching edges
+    becomes ``1 - (1-base)*(1-loss_rate)`` (independent loss sources).
+    """
+
+    start: float
+    end: float
+    loss_rate: float = 1.0
+    edge_class: EdgeClass | None = None
+
+    def __post_init__(self) -> None:
+        _check_rate("loss_rate", self.loss_rate)
+        if self.end <= self.start:
+            raise ParameterError(f"burst window [{self.start}, {self.end}) is empty")
+
+    def active(self, now: float, edge: EdgeClass) -> bool:
+        if self.edge_class is not None and edge is not self.edge_class:
+            return False
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """A node is down (neither receives, ACKs, nor transmits) in ``[start, end)``."""
+
+    node_id: int
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ParameterError(f"outage window [{self.start}, {self.end}) is empty")
+
+    def down(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass
+class FaultPlan:
+    """The complete fault configuration of one runtime run."""
+
+    #: Profile used for edge classes without an explicit override.
+    default_profile: LinkProfile = field(default_factory=LinkProfile)
+    #: Per-edge-class overrides (e.g. a lossier source tier).
+    profiles: dict[EdgeClass, LinkProfile] = field(default_factory=dict)
+    bursts: tuple[BurstLoss, ...] = ()
+    outages: tuple[NodeOutage, ...] = ()
+
+    def profile_for(self, edge: EdgeClass) -> LinkProfile:
+        return self.profiles.get(edge, self.default_profile)
+
+    @classmethod
+    def lossless(cls) -> "FaultPlan":
+        """The degenerate plan: instant, perfect links (overhead baseline)."""
+        return cls(default_profile=LinkProfile(loss_rate=0.0, latency=0.0, jitter=0.0))
+
+    @classmethod
+    def uniform_loss(cls, loss_rate: float, **profile_kwargs: float) -> "FaultPlan":
+        """Every edge class loses packets independently at *loss_rate*."""
+        return cls(default_profile=LinkProfile(loss_rate=loss_rate, **profile_kwargs))
+
+
+@dataclass(frozen=True)
+class LinkVerdict:
+    """What the channel did to one physical transmission attempt.
+
+    ``latencies`` holds one arrival delay per surviving copy — empty
+    when the packet was lost, two entries when it was duplicated.
+    """
+
+    lost: bool
+    latencies: tuple[float, ...]
+
+    @property
+    def copies(self) -> int:
+        return len(self.latencies)
+
+
+class FaultInjector:
+    """Deterministic oracle answering "what happens to this transmission?"."""
+
+    def __init__(self, plan: FaultPlan, *, seed: int = 0) -> None:
+        self.plan = plan
+        self._seed = seed
+        self._streams: dict[tuple[int, int], DeterministicRandom] = {}
+        #: Transmission attempts adjudicated, per edge class (diagnostics).
+        self.attempts_by_class: dict[EdgeClass, int] = {}
+
+    def _stream(self, sender: int, receiver: int) -> DeterministicRandom:
+        key = (sender, receiver)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = DeterministicRandom(self._seed, "link", f"{sender}->{receiver}")
+            self._streams[key] = stream
+        return stream
+
+    def node_down(self, node_id: int, now: float) -> bool:
+        """True when the node is inside any of its outage windows."""
+        return any(o.node_id == node_id and o.down(now) for o in self.plan.outages)
+
+    def effective_loss_rate(self, edge: EdgeClass, now: float) -> float:
+        """Steady-state loss combined with every active burst."""
+        survive = 1.0 - self.plan.profile_for(edge).loss_rate
+        for burst in self.plan.bursts:
+            if burst.active(now, edge):
+                survive *= 1.0 - burst.loss_rate
+        return 1.0 - survive
+
+    def attempt(
+        self, sender: int, receiver: int, edge: EdgeClass, now: float
+    ) -> LinkVerdict:
+        """Adjudicate one physical transmission at logical time *now*.
+
+        Exactly four variates are drawn per call (loss, latency,
+        duplication, duplicate latency) so verdict outcomes never shift
+        the stream for later attempts on the same edge.
+        """
+        self.attempts_by_class[edge] = self.attempts_by_class.get(edge, 0) + 1
+        profile = self.plan.profile_for(edge)
+        rng = self._stream(sender, receiver)
+        u_loss = rng.random()
+        u_latency = rng.random()
+        u_dup = rng.random()
+        u_dup_latency = rng.random()
+
+        if self.node_down(receiver, now):
+            return LinkVerdict(lost=True, latencies=())
+        if u_loss < self.effective_loss_rate(edge, now):
+            return LinkVerdict(lost=True, latencies=())
+
+        latencies = [profile.latency + u_latency * profile.jitter]
+        if u_dup < profile.duplicate_rate:
+            latencies.append(profile.latency + u_dup_latency * profile.jitter)
+        return LinkVerdict(lost=False, latencies=tuple(latencies))

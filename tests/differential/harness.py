@@ -28,20 +28,64 @@ from dataclasses import dataclass, field
 from repro.attacks.adversary import Eavesdropper
 from repro.core.protocol import SIESProtocol
 from repro.datasets.workload import UniformWorkload
-from repro.network.channel import Interceptor
+from repro.network.channel import EdgeClass, Interceptor
+from repro.network.messages import DataMessage
 from repro.network.metrics import RunMetrics
 from repro.network.simulator import NetworkSimulator, SimulationConfig
 from repro.network.topology import build_complete_tree
 from repro.protocols.base import SecureAggregationProtocol
+from repro.utils.rng import derive_seed
 
 __all__ = [
     "RunSpec",
     "PathTrace",
+    "LossyLink",
     "execute_path",
     "run_both_paths",
     "assert_equivalent",
     "count_combinations",
 ]
+
+
+class LossyLink:
+    """A stateless lossy link usable identically on both execution paths.
+
+    The batched pipeline delivers messages in a different *global*
+    order than the sequential one (the per-edge relative order is
+    preserved), so a lossy link that consumed RNG state per call would
+    diverge between paths.  This one decides each drop purely from a
+    seeded hash of ``(epoch, sender, edge)`` — the same message meets
+    the same fate on either path, which is exactly what a differential
+    scenario needs (and what a real fading channel looks like to a
+    replayed trace).
+    """
+
+    def __init__(
+        self,
+        loss_rate: float,
+        *,
+        seed: int = 0,
+        edge_class: EdgeClass | None = None,
+    ) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+        self.loss_rate = loss_rate
+        self.seed = seed
+        self.edge_class = edge_class
+        #: ``(epoch, sender)`` pairs this link actually swallowed.
+        self.dropped: list[tuple[int, int]] = []
+
+    def would_drop(self, epoch: int, sender: int, edge: EdgeClass) -> bool:
+        draw = derive_seed(self.seed, "lossy", f"{epoch}", f"{sender}", edge.value)
+        return draw / 2**64 < self.loss_rate
+
+    def __call__(self, message: DataMessage, edge: EdgeClass) -> DataMessage | None:
+        if self.edge_class is not None and edge is not self.edge_class:
+            return message
+        if self.would_drop(message.epoch, message.sender, edge):
+            self.dropped.append((message.epoch, message.sender))
+            return None
+        return message
 
 #: Builds a fresh adversary for a freshly-built protocol instance.
 AttackFactory = Callable[[SecureAggregationProtocol], Interceptor]

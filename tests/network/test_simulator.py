@@ -113,7 +113,8 @@ def test_topology_protocol_size_mismatch(setup) -> None:
         NetworkSimulator(protocol, build_complete_tree(8, 4), workload)
 
 
-def test_dropped_final_message_records_no_result(setup) -> None:
+def test_dropped_final_message_records_message_lost(setup) -> None:
+    """A final PSR swallowed on its last hop is loss, not absence."""
     protocol, tree, workload = setup
     sim = NetworkSimulator(protocol, tree, workload, SimulationConfig(num_epochs=1))
     sim.channel.add_interceptor(
@@ -121,7 +122,52 @@ def test_dropped_final_message_records_no_result(setup) -> None:
     )
     em = sim.run_epoch(1)
     assert em.result is None
+    assert em.security_failure == "MessageLost"
+
+
+def test_nothing_sent_records_no_result(setup) -> None:
+    """When every source's PSR is suppressed, no final PSR ever exists."""
+    protocol, tree, workload = setup
+    sim = NetworkSimulator(protocol, tree, workload, SimulationConfig(num_epochs=1))
+    sim.channel.add_interceptor(
+        lambda m, e: None if e is EdgeClass.SOURCE_TO_AGGREGATOR else m
+    )
+    em = sim.run_epoch(1)
+    assert em.result is None
     assert em.security_failure == "NoResult"
+
+
+def test_message_lost_parity_across_run_modes(setup) -> None:
+    """run, run_epoch and run_batched must all classify final-hop drops alike."""
+    _, tree, workload = setup
+
+    def lossy(epoch_mod):
+        return lambda m, e: (
+            None
+            if e is EdgeClass.AGGREGATOR_TO_QUERIER and m.epoch % 2 == epoch_mod
+            else m
+        )
+
+    verdicts = {}
+    for mode in ("run", "run_epoch", "run_batched"):
+        sim = NetworkSimulator(
+            SIESProtocol(N, seed=1), tree, workload, SimulationConfig(num_epochs=4)
+        )
+        sim.channel.add_interceptor(lossy(0))
+        if mode == "run":
+            metrics = sim.run()
+            verdicts[mode] = [(em.epoch, em.security_failure) for em in metrics.epochs]
+        elif mode == "run_batched":
+            metrics = sim.run_batched(window=3)
+            verdicts[mode] = [(em.epoch, em.security_failure) for em in metrics.epochs]
+        else:
+            verdicts[mode] = [
+                (epoch, sim.run_epoch(epoch).security_failure) for epoch in range(1, 5)
+            ]
+    assert verdicts["run"] == verdicts["run_epoch"] == verdicts["run_batched"]
+    assert [failure for _, failure in verdicts["run"]] == [
+        None, "MessageLost", None, "MessageLost"
+    ]
 
 
 def test_energy_accounting(setup) -> None:

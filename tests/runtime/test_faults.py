@@ -1,0 +1,131 @@
+"""Fault model: seeded determinism, burst windows, churn, rate validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.network.channel import EdgeClass
+from repro.runtime.faults import (
+    BurstLoss,
+    FaultInjector,
+    FaultPlan,
+    LinkProfile,
+    NodeOutage,
+)
+
+
+def test_profile_validation() -> None:
+    with pytest.raises(ParameterError):
+        LinkProfile(loss_rate=1.5)
+    with pytest.raises(ParameterError):
+        LinkProfile(duplicate_rate=-0.1)
+    with pytest.raises(ParameterError):
+        LinkProfile(latency=-1.0)
+    with pytest.raises(ParameterError):
+        BurstLoss(start=5.0, end=5.0)
+    with pytest.raises(ParameterError):
+        NodeOutage(node_id=1, start=3.0, end=2.0)
+
+
+def test_seeded_verdicts_are_deterministic() -> None:
+    plan = FaultPlan.uniform_loss(0.4, latency=2.0, jitter=1.0)
+
+    def verdicts(seed: int):
+        injector = FaultInjector(plan, seed=seed)
+        return [
+            (v.lost, v.latencies)
+            for v in (
+                injector.attempt(0, 1, EdgeClass.SOURCE_TO_AGGREGATOR, float(t))
+                for t in range(50)
+            )
+        ]
+
+    assert verdicts(7) == verdicts(7)
+    assert verdicts(7) != verdicts(8)
+
+
+def test_edges_draw_from_independent_streams() -> None:
+    plan = FaultPlan.uniform_loss(0.5)
+    injector = FaultInjector(plan, seed=3)
+    a = [injector.attempt(0, 1, EdgeClass.SOURCE_TO_AGGREGATOR, 0.0).lost for _ in range(40)]
+    b = [injector.attempt(2, 1, EdgeClass.SOURCE_TO_AGGREGATOR, 0.0).lost for _ in range(40)]
+    assert a != b  # distinct (sender, receiver) pairs see distinct loss realizations
+
+
+def test_lossless_plan_never_drops() -> None:
+    injector = FaultInjector(FaultPlan.lossless(), seed=1)
+    for t in range(100):
+        verdict = injector.attempt(0, 1, EdgeClass.AGGREGATOR_TO_QUERIER, float(t))
+        assert not verdict.lost
+        assert verdict.latencies == (0.0,)
+
+
+def test_burst_loss_window() -> None:
+    plan = FaultPlan(bursts=(BurstLoss(start=10.0, end=20.0, loss_rate=1.0),))
+    injector = FaultInjector(plan, seed=0)
+    assert injector.effective_loss_rate(EdgeClass.SOURCE_TO_AGGREGATOR, 5.0) == 0.0
+    assert injector.effective_loss_rate(EdgeClass.SOURCE_TO_AGGREGATOR, 10.0) == 1.0
+    assert injector.effective_loss_rate(EdgeClass.SOURCE_TO_AGGREGATOR, 19.9) == 1.0
+    assert injector.effective_loss_rate(EdgeClass.SOURCE_TO_AGGREGATOR, 20.0) == 0.0
+    assert injector.attempt(0, 1, EdgeClass.SOURCE_TO_AGGREGATOR, 15.0).lost
+
+
+def test_burst_scoped_to_edge_class() -> None:
+    plan = FaultPlan(
+        bursts=(
+            BurstLoss(
+                start=0.0, end=100.0, loss_rate=1.0,
+                edge_class=EdgeClass.AGGREGATOR_TO_QUERIER,
+            ),
+        )
+    )
+    injector = FaultInjector(plan, seed=0)
+    assert injector.effective_loss_rate(EdgeClass.AGGREGATOR_TO_QUERIER, 50.0) == 1.0
+    assert injector.effective_loss_rate(EdgeClass.SOURCE_TO_AGGREGATOR, 50.0) == 0.0
+
+
+def test_loss_rates_compose_independently() -> None:
+    plan = FaultPlan(
+        default_profile=LinkProfile(loss_rate=0.5),
+        bursts=(BurstLoss(start=0.0, end=10.0, loss_rate=0.5),),
+    )
+    injector = FaultInjector(plan, seed=0)
+    assert injector.effective_loss_rate(EdgeClass.SOURCE_TO_AGGREGATOR, 5.0) == pytest.approx(0.75)
+
+
+def test_node_outage_and_recovery() -> None:
+    plan = FaultPlan(outages=(NodeOutage(node_id=4, start=10.0, end=30.0),))
+    injector = FaultInjector(plan, seed=0)
+    assert not injector.node_down(4, 9.9)
+    assert injector.node_down(4, 10.0)
+    assert injector.node_down(4, 29.9)
+    assert not injector.node_down(4, 30.0)
+    assert not injector.node_down(5, 15.0)
+    # Transmissions *to* a downed node are lost regardless of link luck.
+    assert injector.attempt(0, 4, EdgeClass.SOURCE_TO_AGGREGATOR, 15.0).lost
+
+
+def test_duplication_yields_extra_copies() -> None:
+    plan = FaultPlan(default_profile=LinkProfile(duplicate_rate=1.0, jitter=0.0))
+    injector = FaultInjector(plan, seed=0)
+    verdict = injector.attempt(0, 1, EdgeClass.SOURCE_TO_AGGREGATOR, 0.0)
+    assert verdict.copies == 2
+
+
+def test_verdict_outcomes_do_not_shift_the_stream() -> None:
+    """A burst changing outcomes must not perturb later latency draws."""
+    quiet = FaultInjector(FaultPlan.uniform_loss(0.0, jitter=1.0), seed=5)
+    bursty = FaultInjector(
+        FaultPlan(
+            default_profile=LinkProfile(loss_rate=0.0, jitter=1.0),
+            bursts=(BurstLoss(start=0.0, end=5.0, loss_rate=1.0),),
+        ),
+        seed=5,
+    )
+    quiet_verdicts = [quiet.attempt(0, 1, EdgeClass.SOURCE_TO_AGGREGATOR, float(t)) for t in range(10)]
+    bursty_verdicts = [bursty.attempt(0, 1, EdgeClass.SOURCE_TO_AGGREGATOR, float(t)) for t in range(10)]
+    # After the burst window the two runs see identical latencies.
+    assert [v.latencies for v in quiet_verdicts[5:]] == [
+        v.latencies for v in bursty_verdicts[5:]
+    ]

@@ -19,6 +19,28 @@ def test_run_cmt_is_unverified(capsys) -> None:
     assert "UNVERIFIED" in capsys.readouterr().out
 
 
+def test_runtime_command_lossy(capsys) -> None:
+    assert main(["runtime", "--sources", "16", "--epochs", "3",
+                 "--loss", "0.3", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "delivery rate" in out
+    assert "retransmissions" in out
+    assert "(verified" in out
+
+
+def test_runtime_command_json_ledger(capsys) -> None:
+    import json
+
+    assert main(["runtime", "--sources", "8", "--epochs", "2", "--loss", "0"]) == 0
+    capsys.readouterr()
+    assert main(["runtime", "--sources", "8", "--epochs", "2",
+                 "--loss", "0", "--json"]) == 0
+    ledger = json.loads(capsys.readouterr().out)
+    assert ledger["num_epochs"] == 2
+    assert ledger["delivery_rate"] == 1.0
+    assert all(e["converged"] for e in ledger["epochs"])
+
+
 def test_query_command_with_predicate(capsys) -> None:
     code = main([
         "query", "--aggregate", "AVG", "--where", "temperature>=20",

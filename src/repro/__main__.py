@@ -18,6 +18,7 @@ from repro import (
 )
 from repro.attacks import AdditiveTamperAttack, run_attack_scenario
 from repro.datasets import DomainScaledWorkload
+from repro.errors import SimulationError
 
 
 def _demo(num_sources: int, epochs: int) -> None:
@@ -28,7 +29,8 @@ def _demo(num_sources: int, epochs: int) -> None:
         protocol, tree, workload, SimulationConfig(num_epochs=epochs)
     ).run()
     first = metrics.epochs[0].result
-    assert first is not None
+    if first is None:
+        raise SimulationError("honest demo epoch produced no result")
     print(
         f"honest network : {epochs} epochs over {num_sources} sources — "
         f"all verified: {metrics.all_verified()}; "

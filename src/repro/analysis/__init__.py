@@ -1,0 +1,66 @@
+"""sieslint — AST-based invariant checker for the SIES codebase.
+
+SIES's security argument rests on invariants the rest of the repository
+states only in prose: MAC and share comparisons must be constant time,
+crypto arithmetic must stay in exact integers mod ``p``, and the event
+runtime must never read a wall clock so runs replay exactly from the
+seed.  This package machine-checks those invariants on every PR.
+
+Architecture
+------------
+
+* :mod:`repro.analysis.core` — the single-pass visitor framework: a
+  rule registry, :class:`Finding`/:class:`Severity`, per-line
+  ``# sieslint: disable=RULE`` pragmas, and the module/path walkers.
+* :mod:`repro.analysis.baseline` — a committed JSON baseline for
+  grandfathered findings; only *new* findings fail the build.
+* :mod:`repro.analysis.rules` — the concrete checkers SL001–SL005.
+* :mod:`repro.analysis.reporting` — text and JSON renderers.
+
+Entry points::
+
+    from repro.analysis import lint_paths, lint_source, default_rules
+    findings = lint_paths(["src"])          # full-tree lint
+    findings = lint_source(code, "x.py")    # one in-memory module
+
+or from the command line::
+
+    python -m repro.cli lint src --json
+"""
+
+from repro.analysis.baseline import Baseline, filter_new_findings
+from repro.analysis.core import (
+    Finding,
+    LintContext,
+    Rule,
+    Severity,
+    available_rules,
+    lint_paths,
+    lint_source,
+    rule_catalog,
+)
+from repro.analysis.reporting import render_json, render_text
+
+# Importing the rules package registers every built-in checker.
+from repro.analysis import rules as _rules  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "Severity",
+    "Baseline",
+    "available_rules",
+    "rule_catalog",
+    "default_rules",
+    "filter_new_findings",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]
+
+
+def default_rules() -> tuple[str, ...]:
+    """Rule ids enabled by default (currently: every registered rule)."""
+    return available_rules()

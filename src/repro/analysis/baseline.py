@@ -1,0 +1,92 @@
+"""Committed JSON baseline for grandfathered sieslint findings.
+
+A baseline lets the linter gate CI on *new* findings while known debt
+is paid down incrementally: ``repro lint --update-baseline`` snapshots
+the current findings, the file is committed, and from then on only
+findings whose fingerprint is absent from the snapshot fail the build.
+
+Fingerprints (see :attr:`repro.analysis.core.Finding.fingerprint`) hash
+the rule id, file path, and offending line text — not the line number —
+so edits elsewhere in a file do not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Finding
+from repro.errors import ParameterError
+
+__all__ = ["Baseline", "filter_new_findings", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "sieslint.baseline.json"
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered finding fingerprints."""
+
+    entries: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries = {
+            f.fingerprint: {
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+                "snippet": f.snippet,
+            }
+            for f in findings
+        }
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        raw = Path(path).read_text(encoding="utf-8")
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ParameterError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+            raise ParameterError(
+                f"baseline {path} has unsupported format (want version {_FORMAT_VERSION})"
+            )
+        entries = payload.get("findings", {})
+        if not isinstance(entries, dict):
+            raise ParameterError(f"baseline {path}: 'findings' must be an object")
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "comment": (
+                "Grandfathered sieslint findings. Remove entries as the debt is "
+                "paid down; never add entries by hand — use "
+                "'repro lint --update-baseline'."
+            ),
+            "findings": dict(sorted(self.entries.items())),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def filter_new_findings(
+    findings: list[Finding], baseline: Baseline | None
+) -> tuple[list[Finding], list[Finding]]:
+    """Split *findings* into (new, grandfathered) against *baseline*."""
+    if baseline is None:
+        return list(findings), []
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if finding in baseline else new).append(finding)
+    return new, old

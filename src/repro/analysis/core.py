@@ -1,0 +1,352 @@
+"""Single-pass AST visitor framework for sieslint.
+
+Every rule subscribes to the AST node types it cares about; the driver
+walks each module exactly once and dispatches nodes to the subscribed
+rules.  Rules therefore stay O(nodes) in aggregate no matter how many
+checkers are registered — the framework, not each rule, owns traversal.
+
+Suppression happens at two levels:
+
+* an inline pragma on the offending line::
+
+      digest == expected  # sieslint: disable=SL003
+
+* a file-level pragma within the first ten lines::
+
+      # sieslint: disable-file=SL002
+
+Both accept a comma-separated rule list or ``all``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "register_rule",
+    "available_rules",
+    "rule_catalog",
+    "lint_source",
+    "lint_paths",
+]
+
+
+class Severity:
+    """Per-rule severity levels. Errors gate CI; warnings only report."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Deliberately excludes the line *number* so unrelated edits above
+        a grandfathered finding do not un-baseline it; the rule id, the
+        file, and the offending line's text identify the finding.
+        """
+        basis = "\x1f".join((self.rule, self.path, self.snippet.strip() or str(self.line)))
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+
+_PRAGMA_RE = re.compile(r"#\s*sieslint:\s*disable=([A-Za-z0-9_,\s]+)")
+_FILE_PRAGMA_RE = re.compile(r"#\s*sieslint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+def _parse_rule_list(raw: str) -> frozenset[str]:
+    return frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
+
+
+class LintContext:
+    """Per-module state shared by every rule during one traversal."""
+
+    def __init__(self, tree: ast.Module, source: str, path: str, module: str) -> None:
+        self.tree = tree
+        self.source = source
+        self.path = path
+        self.module = module
+        self.lines = source.splitlines()
+        self.findings: list[Finding] = []
+        self._parents: dict[ast.AST, ast.AST] = {}
+        self._line_pragmas: dict[int, frozenset[str]] = {}
+        self._file_pragmas: frozenset[str] = frozenset()
+        self.import_aliases: dict[str, str] = {}
+        self.from_imports: dict[str, str] = {}
+        self._index()
+
+    # -- indexing ------------------------------------------------------
+
+    def _index(self) -> None:
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _PRAGMA_RE.search(text)
+            if match:
+                self._line_pragmas[lineno] = _parse_rule_list(match.group(1))
+            if lineno <= 10:
+                fmatch = _FILE_PRAGMA_RE.search(text)
+                if fmatch:
+                    self._file_pragmas |= _parse_rule_list(fmatch.group(1))
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.import_aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    # -- helpers used by rules -----------------------------------------
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def qualified_call_target(self, node: ast.Call) -> str | None:
+        """Resolve ``func`` to a dotted name using the module's imports.
+
+        ``time.time()`` resolves to ``time.time`` even under
+        ``import time as t``; ``from os import urandom`` resolves bare
+        ``urandom()`` to ``os.urandom``.  Returns ``None`` for calls the
+        import table cannot explain (methods on arbitrary objects).
+        """
+        func = node.func
+        if isinstance(func, ast.Name):
+            return self.from_imports.get(func.id)
+        if isinstance(func, ast.Attribute):
+            parts: list[str] = [func.attr]
+            value = func.value
+            while isinstance(value, ast.Attribute):
+                parts.append(value.attr)
+                value = value.value
+            if isinstance(value, ast.Name):
+                base = self.import_aliases.get(value.id)
+                if base is None and value.id in self.from_imports:
+                    base = self.from_imports[value.id]
+                if base is not None:
+                    return ".".join([base, *reversed(parts)])
+        return None
+
+    def is_suppressed(self, rule: str, lineno: int) -> bool:
+        if rule in self._file_pragmas or "ALL" in self._file_pragmas:
+            return True
+        pragmas = self._line_pragmas.get(lineno, frozenset())
+        return rule in pragmas or "ALL" in pragmas
+
+    def report(
+        self, rule: "Rule", node: ast.AST, message: str, *, severity: str | None = None
+    ) -> None:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.is_suppressed(rule.rule_id, lineno):
+            return
+        self.findings.append(
+            Finding(
+                rule=rule.rule_id,
+                severity=severity or rule.severity,
+                path=self.path,
+                line=lineno,
+                col=col,
+                message=message,
+                snippet=self.line_text(lineno).strip(),
+            )
+        )
+
+
+class Rule:
+    """Base class for sieslint checkers.
+
+    Subclasses declare ``rule_id``, ``severity``, ``description``, the
+    node types they subscribe to via ``interests``, and implement
+    :meth:`check`.  :meth:`begin_module` lets a rule reset per-module
+    state or opt out of a module entirely (return ``False`` to skip).
+    """
+
+    rule_id: str = "SL000"
+    severity: str = Severity.ERROR
+    description: str = ""
+    interests: tuple[type, ...] = ()
+
+    def begin_module(self, ctx: LintContext) -> bool:
+        return True
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def end_module(self, ctx: LintContext) -> None:
+        return None
+
+
+_REGISTRY: dict[str, Callable[[], Rule]] = {}
+
+
+def register_rule(factory: Callable[[], Rule]) -> Callable[[], Rule]:
+    """Class decorator registering a rule under its ``rule_id``."""
+    probe = factory()
+    if not probe.rule_id or probe.rule_id == "SL000":
+        raise ParameterError(f"rule {factory!r} must define a rule_id")
+    if probe.rule_id in _REGISTRY:
+        raise ParameterError(f"duplicate rule id {probe.rule_id}")
+    _REGISTRY[probe.rule_id] = factory
+    return factory
+
+
+def available_rules() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def rule_catalog() -> dict[str, tuple[str, str]]:
+    """Map of rule id -> (severity, description) for ``--list-rules``."""
+    catalog = {}
+    for rule_id, factory in sorted(_REGISTRY.items()):
+        rule = factory()
+        catalog[rule_id] = (rule.severity, rule.description)
+    return catalog
+
+
+def _instantiate(rule_ids: Iterable[str] | None) -> list[Rule]:
+    selected = available_rules() if rule_ids is None else tuple(rule_ids)
+    rules = []
+    for rule_id in selected:
+        rid = rule_id.upper()
+        if rid not in _REGISTRY:
+            raise ParameterError(
+                f"unknown rule {rule_id!r}; available: {', '.join(available_rules())}"
+            )
+        rules.append(_REGISTRY[rid]())
+    return rules
+
+
+def _module_name_for(path: Path) -> str:
+    """Best-effort dotted module name from a file path.
+
+    Rules scope themselves by package (``repro.crypto`` vs the rest), so
+    the name only needs to be right relative to the ``repro`` package
+    root — anything before a ``repro`` path component is dropped.
+    """
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    module: str | None = None,
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one module's source text; the workhorse behind everything."""
+    active = _instantiate(rules)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="SL000",
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(tree, source, path, module or _module_name_for(Path(path)))
+    live = [rule for rule in active if rule.begin_module(ctx)]
+    dispatch: dict[type, list[Rule]] = {}
+    for rule in live:
+        for node_type in rule.interests:
+            dispatch.setdefault(node_type, []).append(rule)
+    for node in ast.walk(tree):
+        for rule in dispatch.get(type(node), ()):
+            rule.check(node, ctx)
+    for rule in live:
+        rule.end_module(ctx)
+    ctx.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return ctx.findings
+
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    yield candidate
+        elif not path.exists():
+            raise ParameterError(f"lint target does not exist: {path}")
+
+
+def lint_paths(
+    paths: Iterable[str | Path], *, rules: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint every ``.py`` file under *paths* (files or directories)."""
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, str(file_path), rules=rules))
+    return findings

@@ -1,0 +1,45 @@
+"""Render sieslint findings as human-readable text or machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import Finding, Severity
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    new: list[Finding], grandfathered: list[Finding] | None = None
+) -> str:
+    """The ``path:line:col: RULE [severity] message`` report."""
+    lines: list[str] = []
+    for finding in new:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule} [{finding.severity}] {finding.message}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    errors = sum(1 for f in new if f.severity == Severity.ERROR)
+    warnings = len(new) - errors
+    summary = f"sieslint: {errors} error(s), {warnings} warning(s)"
+    if grandfathered:
+        summary += f", {len(grandfathered)} baselined finding(s) suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    new: list[Finding], grandfathered: list[Finding] | None = None
+) -> str:
+    payload = {
+        "findings": [f.as_dict() for f in new],
+        "grandfathered": [f.as_dict() for f in (grandfathered or [])],
+        "summary": {
+            "errors": sum(1 for f in new if f.severity == Severity.ERROR),
+            "warnings": sum(1 for f in new if f.severity == Severity.WARNING),
+            "baselined": len(grandfathered or []),
+        },
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,32 @@
+"""Built-in sieslint checkers.
+
+Importing this package registers every rule with the framework registry:
+
+* **SL001** ``secret-flow`` — key/secret/seed-named values must not
+  reach ``print``, logging, f-string exception messages, or
+  ``__repr__``/``__str__`` return values.
+* **SL002** ``determinism`` — no wall-clock or unseeded global
+  randomness outside :mod:`repro.utils.rng`; protects the event
+  runtime's seeded-replay guarantee.
+* **SL003** ``crypto-arithmetic`` — :mod:`repro.crypto` stays in exact
+  integers mod ``p``; digest/MAC/share equality goes through
+  :func:`repro.utils.bytesops.constant_time_eq`.
+* **SL004** ``bare-assert`` — no ``assert`` for control flow in
+  shipped code (stripped under ``python -O``).
+* **SL005** ``broad-except`` — no ``except Exception``/bare ``except``
+  that can swallow ``ProtocolError``.
+"""
+
+from repro.analysis.rules.bare_assert import BareAssertRule
+from repro.analysis.rules.broad_except import BroadExceptRule
+from repro.analysis.rules.crypto_arith import CryptoArithmeticRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.secret_flow import SecretFlowRule
+
+__all__ = [
+    "SecretFlowRule",
+    "DeterminismRule",
+    "CryptoArithmeticRule",
+    "BareAssertRule",
+    "BroadExceptRule",
+]

@@ -1,0 +1,48 @@
+"""SL004 — no ``assert`` for control flow in shipped code.
+
+``python -O`` strips every ``assert`` statement.  An invariant that the
+protocol relies on (``em.result is not None``, "children agree on the
+sketch count") silently stops being checked the moment someone runs the
+simulator optimised — exactly the deployments where a missed
+verification matters most.  Shipped code must raise
+:class:`repro.errors.ProtocolError` / :class:`SimulationError` instead.
+
+Test files are exempt: pytest rewrites their asserts and never runs
+under ``-O``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+
+from repro.analysis.core import LintContext, Rule, Severity, register_rule
+
+__all__ = ["BareAssertRule"]
+
+
+def _is_test_module(path: str) -> bool:
+    parts = PurePath(path).parts
+    name = PurePath(path).name
+    return "tests" in parts or name.startswith("test_") or name == "conftest.py"
+
+
+@register_rule
+class BareAssertRule(Rule):
+    rule_id = "SL004"
+    severity = Severity.ERROR
+    description = (
+        "assert statements are stripped under python -O; raise "
+        "ProtocolError/SimulationError for runtime invariants"
+    )
+    interests = (ast.Assert,)
+
+    def begin_module(self, ctx: LintContext) -> bool:
+        return not _is_test_module(ctx.path)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        ctx.report(
+            self, node,
+            "assert used for a runtime invariant; stripped under python -O — "
+            "raise an explicit repro.errors exception",
+        )

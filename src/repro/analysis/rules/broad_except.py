@@ -1,0 +1,77 @@
+"""SL005 — no broad exception handlers that swallow ``ProtocolError``.
+
+``except Exception`` (or a bare ``except``) around protocol code turns a
+detected integrity violation into silence: :class:`repro.errors.SecurityError`
+and :class:`ProtocolError` both derive from :class:`Exception`, so a
+broad handler that logs-and-continues accepts tampered aggregates.
+Handlers must name the exceptions they can actually recover from.
+
+A broad handler that visibly re-raises (a bare ``raise`` anywhere in its
+body) does not swallow anything and is allowed — that is the standard
+"annotate and propagate" shape.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+
+from repro.analysis.core import LintContext, Rule, Severity, register_rule
+
+__all__ = ["BroadExceptRule"]
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_test_module(path: str) -> bool:
+    parts = PurePath(path).parts
+    return "tests" in parts or PurePath(path).name.startswith("test_")
+
+
+def _broad_name(node: ast.expr | None) -> str | None:
+    if node is None:
+        return "bare except"
+    if isinstance(node, ast.Name) and node.id in _BROAD_NAMES:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in _BROAD_NAMES:
+        return node.attr
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            name = _broad_name(element)
+            if name is not None:
+                return name
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+@register_rule
+class BroadExceptRule(Rule):
+    rule_id = "SL005"
+    severity = Severity.ERROR
+    description = (
+        "except Exception / bare except swallows ProtocolError and "
+        "SecurityError; catch the specific exceptions instead"
+    )
+    interests = (ast.ExceptHandler,)
+
+    def begin_module(self, ctx: LintContext) -> bool:
+        return not _is_test_module(ctx.path)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        handler = node
+        if not isinstance(handler, ast.ExceptHandler):
+            return
+        name = _broad_name(handler.type)
+        if name is None or _reraises(handler):
+            return
+        ctx.report(
+            self, handler,
+            f"{name} handler can swallow ProtocolError/SecurityError; name "
+            "the recoverable exceptions explicitly (or re-raise)",
+        )

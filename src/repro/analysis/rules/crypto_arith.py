@@ -1,0 +1,145 @@
+"""SL003 — crypto arithmetic stays exact; secret equality stays constant-time.
+
+Two halves, both load-bearing for the paper's theorems:
+
+1. **Exact integers mod p.**  Inside :mod:`repro.crypto` the SIES
+   arithmetic (Theorems 1–2) is defined over exact residues; a single
+   float literal, true division, ``float(...)`` conversion, or numpy
+   float dtype silently rounds 160-bit values and voids the security
+   argument.  Floor division (``//``), ``divmod`` and modular inverses
+   are the sanctioned forms.
+
+2. **Constant-time comparison.**  Equality on digests, MACs, shares, or
+   key material must go through
+   :func:`repro.utils.bytesops.constant_time_eq`
+   (``hmac.compare_digest``); a short-circuiting ``==`` leaks the
+   matching prefix length through timing (docs/protocol_walkthrough.md
+   states this invariant in prose — this rule enforces it).
+
+The comparison half is name-driven: an operand taints the comparison if
+its identifier looks like secret material (``digest``, ``mac``, ``tag``,
+``signature``, ``share``, ``secret``, ``*_key``) or is a direct
+``.digest()`` call.  ALL_CAPS names (constants like
+``CERTIFICATE_BYTES``) and size computations (``len(...)``,
+``bit_length``) never taint.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.core import LintContext, Rule, Severity, register_rule
+
+__all__ = ["CryptoArithmeticRule"]
+
+_CRYPTO_PACKAGE = "repro.crypto"
+
+_SECRET_OPERAND = re.compile(
+    r"(^|_)(digest|digests|mac|macs|hmac|tag|tags|signature|sig|share|shares"
+    r"|secret|secrets|key|keys|certificate|certificates)$"
+)
+
+_NUMPY_FLOAT_ATTRS = frozenset(
+    {"float16", "float32", "float64", "float128", "float_", "half", "single",
+     "double", "longdouble"}
+)
+
+_SIZE_FUNCS = frozenset({"len", "bit_length", "int_byte_length"})
+
+
+def _operand_taint(node: ast.AST) -> str | None:
+    """Return the tainting identifier if *node* looks like secret bytes."""
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "digest":
+            return "digest()"
+        return None  # len(...), bytes(...), function results: not tainted
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is None or name.isupper():
+        return None
+    if _SECRET_OPERAND.search(name.lower()):
+        return name
+    return None
+
+
+@register_rule
+class CryptoArithmeticRule(Rule):
+    rule_id = "SL003"
+    severity = Severity.ERROR
+    description = (
+        "repro.crypto stays in exact integers mod p; digest/MAC/share "
+        "equality must use constant_time_eq"
+    )
+    interests = (ast.Constant, ast.BinOp, ast.AugAssign, ast.Attribute,
+                 ast.Call, ast.Compare)
+    _in_crypto: bool = False
+
+    def begin_module(self, ctx: LintContext) -> bool:
+        self._in_crypto = ctx.module.startswith(_CRYPTO_PACKAGE)
+        return True
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if isinstance(node, ast.Compare):
+            self._check_compare(node, ctx)
+        if not self._in_crypto:
+            return
+        if isinstance(node, ast.Constant) and type(node.value) is float:
+            ctx.report(
+                self, node,
+                f"float literal {node.value!r} in {_CRYPTO_PACKAGE}: crypto "
+                "arithmetic must stay in exact integers mod p",
+            )
+        elif isinstance(node, (ast.BinOp, ast.AugAssign)) and isinstance(node.op, ast.Div):
+            ctx.report(
+                self, node,
+                "true division in repro.crypto produces floats; use // or a "
+                "modular inverse",
+            )
+        elif isinstance(node, ast.Attribute) and node.attr in _NUMPY_FLOAT_ATTRS:
+            ctx.report(
+                self, node,
+                f"numpy float dtype .{node.attr} in repro.crypto: residues "
+                "must stay exact integers",
+            )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+        ):
+            ctx.report(
+                self, node,
+                "float() conversion in repro.crypto: residues must stay "
+                "exact integers",
+            )
+
+    # -- constant-time comparisons -------------------------------------
+
+    def _check_compare(self, node: ast.Compare, ctx: LintContext) -> None:
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        operands = [node.left, *node.comparators]
+        # Size checks (`len(mac) == 20`) and None guards are fine.
+        for operand in operands:
+            if isinstance(operand, ast.Call):
+                callee = operand.func
+                callee_name = (
+                    callee.id if isinstance(callee, ast.Name)
+                    else callee.attr if isinstance(callee, ast.Attribute) else None
+                )
+                if callee_name in _SIZE_FUNCS:
+                    return
+            if isinstance(operand, ast.Constant) and operand.value is None:
+                return
+        for operand in operands:
+            taint = _operand_taint(operand)
+            if taint is not None:
+                ctx.report(
+                    self, node,
+                    f"variable-time equality on {taint!r}; route through "
+                    "repro.utils.bytesops.constant_time_eq",
+                )
+                return

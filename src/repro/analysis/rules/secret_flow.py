@@ -1,0 +1,148 @@
+"""SL001 — secret material must never flow into human-readable output.
+
+RSAED (arXiv:1212.2451) and the two-layer aggregation literature lose
+confidentiality not through broken primitives but through key material
+leaking into logs and error strings.  This rule taints identifiers whose
+names match key/secret/seed patterns and flags them when they reach:
+
+* ``print(...)`` arguments (including inside f-strings),
+* ``logging``/``logger`` level calls,
+* the message of a ``raise`` (f-string interpolation or direct args),
+* the returned expression of ``__repr__``/``__str__``.
+
+Legitimate *metadata about* secrets — lengths, counts, bit sizes — is
+not tainted because the sink inspection looks at the identifiers
+themselves, not values computed from them via ``len``/``bit_length``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.core import LintContext, Rule, Severity, register_rule
+
+__all__ = ["SecretFlowRule"]
+
+# Matches ``secret``/``master_key``/``seed_material``... but not
+# ``keyboard``/``monkey``/``seedling`` — the pattern anchors on
+# underscore-delimited words, mirroring how this codebase names things.
+_SECRET_WORD = re.compile(
+    r"(^|_)(secret|secrets|key|keys|seed|seeds|passphrase|password|privkey)($|_)"
+)
+
+# Values derived from secrets that are safe to show.
+_SAFE_DERIVATIONS = frozenset({"len", "bit_length", "hex_digest_len", "type", "id"})
+
+_LOGGING_METHODS = frozenset(
+    {"debug", "info", "warning", "warn", "error", "exception", "critical", "log"}
+)
+_LOGGER_NAMES = frozenset({"logging", "logger", "log", "_logger", "_log"})
+
+
+def _identifier_of(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _tainted_names(expr: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    """Yield (node, name) for secret-named identifiers inside *expr*.
+
+    Subtrees rooted at safe derivations (``len(key)``,
+    ``key.bit_length()``) are pruned — leaking a secret's *size* is the
+    documented, paper-visible behaviour.
+    """
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Call):
+            callee = _identifier_of(node.func)
+            if callee in _SAFE_DERIVATIONS:
+                continue
+        name = _identifier_of(node)
+        if name is not None and _SECRET_WORD.search(name.lower()):
+            yield node, name
+            continue  # do not double-report attribute chains
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule
+class SecretFlowRule(Rule):
+    rule_id = "SL001"
+    severity = Severity.ERROR
+    description = (
+        "key/secret/seed-named values must not reach print, logging, "
+        "f-string exception messages, or __repr__/__str__"
+    )
+    interests = (ast.Call, ast.Raise, ast.Return)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if isinstance(node, ast.Call):
+            self._check_call(node, ctx)
+        elif isinstance(node, ast.Raise):
+            self._check_raise(node, ctx)
+        elif isinstance(node, ast.Return):
+            self._check_return(node, ctx)
+
+    # -- sinks ---------------------------------------------------------
+
+    def _check_call(self, node: ast.Call, ctx: LintContext) -> None:
+        sink = self._sink_name(node)
+        if sink is None:
+            return
+        for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+            for tainted, name in _tainted_names(arg):
+                ctx.report(
+                    self,
+                    tainted,
+                    f"secret-named value {name!r} flows into {sink}; "
+                    "log a length or fingerprint instead",
+                )
+
+    def _check_raise(self, node: ast.Raise, ctx: LintContext) -> None:
+        if not isinstance(node.exc, ast.Call):
+            return
+        for arg in node.exc.args:
+            # Only interpolated values leak; a plain Name argument to an
+            # exception is typically structured context, but an f-string
+            # stringifies the secret into the message.
+            if isinstance(arg, ast.JoinedStr):
+                for tainted, name in _tainted_names(arg):
+                    ctx.report(
+                        self,
+                        tainted,
+                        f"secret-named value {name!r} interpolated into an "
+                        "exception message",
+                    )
+
+    def _check_return(self, node: ast.Return, ctx: LintContext) -> None:
+        func = ctx.enclosing_function(node)
+        if func is None or func.name not in ("__repr__", "__str__"):
+            return
+        if node.value is None:
+            return
+        for tainted, name in _tainted_names(node.value):
+            ctx.report(
+                self,
+                tainted,
+                f"secret-named value {name!r} exposed via {func.name}",
+            )
+
+    # -- sink classification -------------------------------------------
+
+    @staticmethod
+    def _sink_name(node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "print":
+            return "print()"
+        if isinstance(func, ast.Attribute) and func.attr in _LOGGING_METHODS:
+            base = func.value
+            if isinstance(base, ast.Name) and base.id in _LOGGER_NAMES:
+                return f"{base.id}.{func.attr}()"
+            if isinstance(base, ast.Attribute) and base.attr in _LOGGER_NAMES:
+                return f"{base.attr}.{func.attr}()"
+        return None

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from repro.errors import SimulationError
 from repro.network.channel import Interceptor
 from repro.network.simulator import NetworkSimulator, SimulationConfig, Workload
 from repro.network.topology import AggregationTree, build_complete_tree
@@ -106,7 +107,8 @@ def run_attack_scenario(
                 em.epoch
             )
             continue
-        assert em.result is not None
+        if em.result is None:
+            raise SimulationError(f"epoch {em.epoch} finished with neither result nor failure")
         outcome.reported[em.epoch] = (em.result.value, expected)
         correct = (
             em.result.value == expected

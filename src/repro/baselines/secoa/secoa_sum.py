@@ -180,7 +180,8 @@ class SECOASumAggregator(AggregatorRole):
             target = best.levels[j]
             levels.append(target)
             winners.append(best.winners[j])
-            assert best.winner_certificates is not None
+            if best.winner_certificates is None:
+                raise ProtocolError("winning child record lacks winner certificates")
             certificates.append(best.winner_certificates[j])
             seals.append(
                 self._seals.roll_and_fold((r.seals[j] for r in records), target, ops=self._ops)

@@ -12,7 +12,9 @@ Commands
                SELECT template) and print per-epoch answers;
 ``attack``     mount a named adversary and report detection outcomes;
 ``experiment`` regenerate a paper table/figure by name;
-``bounds``     print the Theorem 1–4 security bounds for a parameter set.
+``bounds``     print the Theorem 1–4 security bounds for a parameter set;
+``lint``       run sieslint, the AST-based invariant checker (SL001–SL005),
+               over source trees; non-zero exit on non-baselined findings.
 
 Examples::
 
@@ -22,6 +24,7 @@ Examples::
     python -m repro.cli attack --attack replay --protocol sies
     python -m repro.cli experiment fig5
     python -m repro.cli bounds --sources 1024 --share-bytes 8
+    python -m repro.cli lint src --json
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ import argparse
 import sys
 
 from repro.core.params import SIESParams
+from repro.errors import SimulationError
 from repro.core.security import bounds_for
 from repro.datasets.workload import DomainScaledWorkload
 from repro.network.channel import EdgeClass
@@ -101,6 +105,22 @@ def build_parser() -> argparse.ArgumentParser:
     bounds_p.add_argument("--sources", type=int, default=1024)
     bounds_p.add_argument("--value-bytes", type=int, default=4, choices=(4, 8))
     bounds_p.add_argument("--share-bytes", type=int, default=20)
+
+    lint_p = sub.add_parser("lint", help="sieslint: AST-based invariant checker")
+    lint_p.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    lint_p.add_argument("--json", action="store_true", help="machine-readable output")
+    lint_p.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run (default: all)")
+    lint_p.add_argument("--baseline", default=None,
+                        help="baseline JSON path (default: ./sieslint.baseline.json "
+                             "when present)")
+    lint_p.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, ignoring any baseline")
+    lint_p.add_argument("--update-baseline", action="store_true",
+                        help="snapshot current findings into the baseline and exit 0")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
     return parser
 
 
@@ -124,7 +144,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if em.security_failure:
             print(f"epoch {em.epoch}: REJECTED ({em.security_failure})")
         else:
-            assert em.result is not None
+            if em.result is None:
+                raise SimulationError(f"epoch {em.epoch} finished with neither result nor failure")
             tag = "verified" if em.result.verified else "UNVERIFIED"
             kind = "exact" if em.result.exact else "estimate"
             print(f"epoch {em.epoch}: {kind} result {em.result.value} ({tag})")
@@ -176,7 +197,8 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         if em.security_failure:
             print(f"epoch {em.epoch}: LOST ({em.security_failure})")
             continue
-        assert em.result is not None
+        if em.result is None:
+            raise SimulationError(f"epoch {em.epoch} finished with neither result nor failure")
         tag = "verified" if em.result.verified else "UNVERIFIED"
         if em.recovery.complete:
             detail = "all sources"
@@ -261,11 +283,50 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     print(f"N={args.sources}, value field {args.value_bytes} B, shares {args.share_bytes} B")
     print(f"modulus p        : {params.p.bit_length()} bits ({params.modulus_bytes} B PSRs)")
     print(f"confidentiality  : 2^{bounds.log2_confidentiality_break:.0f} per pad guess (Thm 1)")
-    print(f"long-term key    : 2^{bounds.log2_long_term_key_guess:.0f} per key guess (Thm 1)")
+    # The guess bound is public analysis output, not key material.
+    guess = f"2^{bounds.log2_long_term_key_guess:.0f}"  # sieslint: disable=SL001
+    print(f"long-term key    : {guess} per key guess (Thm 1)")
     print(f"integrity forgery: 2^{bounds.log2_integrity_forgery:.0f} per attempt (Thm 2)")
     print(f"replay collision : 2^{bounds.log2_replay_collision:.0f} per epoch pair (Thm 4)")
     print(f"meets paper margins: {bounds.meets_paper_defaults()}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        Baseline,
+        Severity,
+        filter_new_findings,
+        lint_paths,
+        render_json,
+        render_text,
+        rule_catalog,
+    )
+    from repro.analysis.baseline import DEFAULT_BASELINE_NAME
+
+    if args.list_rules:
+        for rule_id, (severity, description) in rule_catalog().items():
+            print(f"{rule_id} [{severity}] {description}")
+        return 0
+
+    rules = [r.strip() for r in args.rules.split(",")] if args.rules else None
+    findings = lint_paths(args.paths, rules=rules)
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    if args.update_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(f"sieslint: wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    baseline = None
+    if not args.no_baseline and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+    new, grandfathered = filter_new_findings(findings, baseline)
+
+    print(render_json(new, grandfathered) if args.json else render_text(new, grandfathered))
+    return 1 if any(f.severity == Severity.ERROR for f in new) else 0
 
 
 _COMMANDS = {
@@ -275,6 +336,7 @@ _COMMANDS = {
     "attack": _cmd_attack,
     "experiment": _cmd_experiment,
     "bounds": _cmd_bounds,
+    "lint": _cmd_lint,
 }
 
 

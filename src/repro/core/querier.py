@@ -39,6 +39,7 @@ from repro.crypto.keycache import KeyScheduleCache
 from repro.crypto.modular import modinv
 from repro.errors import LayoutError, ProtocolError, SecurityError, VerificationFailure
 from repro.protocols.base import EvaluationResult, OpCounter, PartialStateRecord, QuerierRole
+from repro.utils.bytesops import constant_time_eq, int_to_bytes
 
 __all__ = ["SIESQuerier"]
 
@@ -114,7 +115,13 @@ class SIESQuerier(QuerierRole):
                 f"aggregate plaintext does not fit the message layout ({exc})", epoch=epoch
             ) from exc
 
-        if extracted_secret != share_sum:
+        # Constant-time: a short-circuiting != would leak how many
+        # leading share bytes an attacker's forgery got right.
+        share_width = (self._layout.secret_bits + 7) // 8
+        if not constant_time_eq(
+            int_to_bytes(extracted_secret, share_width),
+            int_to_bytes(share_sum, share_width),
+        ):
             raise VerificationFailure(
                 "secret mismatch: extracted s_t does not equal the recomputed share sum "
                 "(result tampered with, incomplete, or replayed from another epoch)",

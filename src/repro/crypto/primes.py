@@ -12,6 +12,7 @@ the security levels the paper argues about.
 
 from __future__ import annotations
 
+import math
 import random as _random
 
 from repro.errors import ParameterError
@@ -28,7 +29,7 @@ __all__ = [
 def _sieve(limit: int) -> tuple[int, ...]:
     flags = bytearray([1]) * (limit + 1)
     flags[0:2] = b"\x00\x00"
-    for i in range(2, int(limit**0.5) + 1):
+    for i in range(2, math.isqrt(limit) + 1):
         if flags[i]:
             flags[i * i :: i] = b"\x00" * len(flags[i * i :: i])
     return tuple(i for i, f in enumerate(flags) if f)

@@ -144,7 +144,8 @@ class Deployment:
             return entry
 
         answer = self._engine.run_epoch(epoch)
-        assert self._engine_query is not None
+        if self._engine_query is None:
+            raise ConfigurationError("engine is active but no query is registered")
         entry = DeploymentLogEntry(
             epoch=epoch,
             event="answer",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.baselines.secoa.sketch import SketchStrategy
 from repro.datasets.workload import DomainScaledWorkload
+from repro.errors import SimulationError
 from repro.experiments.reporting import ExperimentReport, render_report
 from repro.network.energy import FirstOrderRadioModel
 from repro.network.simulator import (
@@ -54,7 +55,8 @@ def run(
 
     # Naive collection (4-byte raw readings, relayed hop by hop).
     _, ledger = naive_collection_traffic(tree, 4, energy_model=model)
-    assert ledger is not None
+    if ledger is None:
+        raise SimulationError("naive collection with an energy model returned no ledger")
     hottest = ledger.hottest_node()[1]
     rows["naive collection"] = (hottest, ledger.total())
 

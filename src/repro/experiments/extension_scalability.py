@@ -24,6 +24,7 @@ from __future__ import annotations
 from repro.baselines.commit_attest import CommitAttestProtocol, CommitAttestSimulation
 from repro.core.protocol import SIESProtocol
 from repro.datasets.workload import DomainScaledWorkload
+from repro.errors import SimulationError
 from repro.experiments.reporting import ExperimentReport, format_bytes, render_report
 from repro.network.simulator import NetworkSimulator, SimulationConfig
 from repro.network.topology import build_complete_tree
@@ -68,14 +69,16 @@ def run(
         metrics = NetworkSimulator(
             sies, tree, workload, SimulationConfig(num_epochs=1)
         ).run()
-        assert metrics.all_verified()
+        if not metrics.all_verified():
+            raise SimulationError(f"honest SIES run failed verification at N={n}")
         sies_total = metrics.traffic.total_bytes()
         sies_max_edge = sies.psr_bytes  # constant per edge by construction
 
         # Commit-and-attest: three phases, paths down the tree.
         ca = CommitAttestProtocol(n, seed=seed)
         ca_report = CommitAttestSimulation(ca, tree).run_epoch(1, values)
-        assert ca_report.verified and ca_report.result == sum(values)
+        if not ca_report.verified or ca_report.result != sum(values):
+            raise SimulationError(f"commit-and-attest run failed verification at N={n}")
 
         report.add_row(
             str(n),

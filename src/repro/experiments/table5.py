@@ -18,6 +18,7 @@ from repro.baselines.secoa.secoa_sum import SECOASumProtocol
 from repro.costmodel.models import secoas_comm, secoas_comm_bounds, sies_comm, cmt_comm
 from repro.costmodel.tables import DEFAULTS
 from repro.datasets.workload import domain_for_scale
+from repro.errors import SimulationError
 from repro.experiments.common import build_final_psr, paper_workload
 from repro.experiments.paper_data import TABLE5_REPORTED_BYTES
 from repro.experiments.reporting import ExperimentReport, format_bytes, render_report
@@ -51,7 +52,8 @@ def run(
             protocol, tree, workload, SimulationConfig(num_epochs=epochs)
         )
         metrics = simulator.run()
-        assert metrics.all_verified() or name == "cmt"
+        if not metrics.all_verified() and name != "cmt":
+            raise SimulationError(f"honest {name} run failed verification")
         actuals[name] = {
             edge: metrics.traffic.mean_bytes_per_message(edge) for edge in EdgeClass
         }

@@ -163,7 +163,11 @@ class ContinuousQuery:
                 failure = em.security_failure
                 verified = False
                 continue
-            assert em.result is not None
+            if em.result is None:
+                raise QueryError(
+                    f"reduction {reduction!r} epoch {epoch} finished with neither "
+                    "result nor failure"
+                )
             components[reduction] = em.result.value
             verified = verified and em.result.verified
             exact = exact and em.result.exact

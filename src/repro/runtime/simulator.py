@@ -376,7 +376,8 @@ class RuntimeSimulator:
                 )
             except SecurityError as exc:
                 em.security_failure = type(exc).__name__
-        assert self._metrics is not None
+        if self._metrics is None:
+            raise SimulationError("epoch finalized outside an active run()")
         self._metrics.epochs.append(em)
 
     def _finalize_lost(self, epoch: int) -> None:
@@ -404,5 +405,6 @@ class RuntimeSimulator:
             security_failure="MessageLost" if state.attempted else "NoResult",
             late_arrivals=state.late_arrivals,
         )
-        assert self._metrics is not None
+        if self._metrics is None:
+            raise SimulationError("epoch finalized outside an active run()")
         self._metrics.epochs.append(em)

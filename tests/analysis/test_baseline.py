@@ -1,0 +1,71 @@
+"""Baseline workflow: grandfather, gate on new, update, reject garbage."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, filter_new_findings, lint_source
+from repro.errors import ParameterError
+
+OLD_CODE = "import time\nstamp = time.time()\n"
+NEW_CODE = "import time\nstamp = time.time()\nother = time.time_ns()\n"
+
+
+def test_from_findings_and_membership() -> None:
+    findings = lint_source(OLD_CODE, "src/repro/mod.py", module="repro.mod")
+    baseline = Baseline.from_findings(findings)
+    assert len(baseline) == 1
+    assert findings[0] in baseline
+
+
+def test_filter_new_findings_splits_old_from_new() -> None:
+    baseline = Baseline.from_findings(
+        lint_source(OLD_CODE, "src/repro/mod.py", module="repro.mod")
+    )
+    findings = lint_source(NEW_CODE, "src/repro/mod.py", module="repro.mod")
+    new, grandfathered = filter_new_findings(findings, baseline)
+    assert len(grandfathered) == 1
+    assert len(new) == 1
+    assert "time.time_ns" in new[0].message
+
+
+def test_filter_without_baseline_reports_everything() -> None:
+    findings = lint_source(NEW_CODE, "src/repro/mod.py", module="repro.mod")
+    new, grandfathered = filter_new_findings(findings, None)
+    assert len(new) == 2 and grandfathered == []
+
+
+def test_save_and_load_round_trip(tmp_path) -> None:
+    findings = lint_source(OLD_CODE, "src/repro/mod.py", module="repro.mod")
+    path = tmp_path / "sieslint.baseline.json"
+    Baseline.from_findings(findings).save(path)
+    loaded = Baseline.load(path)
+    assert findings[0] in loaded
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+    assert set(payload["findings"]) == {findings[0].fingerprint}
+
+
+def test_load_rejects_invalid_json(tmp_path) -> None:
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(ParameterError, match="not valid JSON"):
+        Baseline.load(path)
+
+
+def test_load_rejects_wrong_version(tmp_path) -> None:
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"version": 99, "findings": {}}))
+    with pytest.raises(ParameterError, match="unsupported format"):
+        Baseline.load(path)
+
+
+def test_committed_repo_baseline_is_empty() -> None:
+    """Acceptance: the repo ships an empty baseline — zero known debt."""
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parent.parent.parent
+    baseline = Baseline.load(root / "sieslint.baseline.json")
+    assert len(baseline) == 0

@@ -1,0 +1,133 @@
+"""The sieslint visitor framework: registry, pragmas, walkers, fingerprints."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import available_rules, lint_paths, lint_source, rule_catalog
+from repro.analysis.core import iter_python_files
+from repro.errors import ParameterError
+
+
+def lint(code: str, module: str = "repro.somewhere", **kwargs) -> list:
+    return lint_source(textwrap.dedent(code), "src/repro/somewhere.py",
+                       module=module, **kwargs)
+
+
+def test_all_five_rules_registered() -> None:
+    assert available_rules() == ("SL001", "SL002", "SL003", "SL004", "SL005")
+
+
+def test_rule_catalog_has_severity_and_description() -> None:
+    catalog = rule_catalog()
+    for rule_id, (severity, description) in catalog.items():
+        assert severity in ("error", "warning"), rule_id
+        assert len(description) > 20, rule_id
+
+
+def test_unknown_rule_rejected() -> None:
+    with pytest.raises(ParameterError, match="unknown rule"):
+        lint("x = 1", rules=["SL999"])
+
+
+def test_rule_selection_limits_findings() -> None:
+    code = """
+    import time
+    def f():
+        assert time.time() > 0
+    """
+    both = lint(code)
+    assert {f.rule for f in both} == {"SL002", "SL004"}
+    only_determinism = lint(code, rules=["SL002"])
+    assert {f.rule for f in only_determinism} == {"SL002"}
+
+
+def test_inline_pragma_suppresses_only_that_line() -> None:
+    code = """
+    import time
+    a = time.time()  # sieslint: disable=SL002
+    b = time.time()
+    """
+    findings = lint(code)
+    assert len(findings) == 1
+    assert "b = time.time()" in findings[0].snippet
+
+
+def test_inline_pragma_with_rule_list() -> None:
+    code = """
+    import time
+    def f():
+        assert time.time() > 0  # sieslint: disable=SL002,SL004
+    """
+    assert lint(code) == []
+
+
+def test_file_pragma_suppresses_whole_module() -> None:
+    code = """
+    # sieslint: disable-file=SL004
+    def f(x):
+        assert x
+        assert x > 1
+    """
+    assert lint(code) == []
+
+
+def test_file_pragma_must_be_near_top() -> None:
+    filler = "\n".join(f"x{i} = {i}" for i in range(15))
+    code = f"{filler}\n# sieslint: disable-file=SL004\ndef f(x):\n    assert x\n"
+    findings = lint_source(code, "src/repro/somewhere.py", module="repro.somewhere")
+    assert [f.rule for f in findings] == ["SL004"]
+
+
+def test_syntax_error_reported_as_sl000() -> None:
+    findings = lint_source("def broken(:\n", "src/repro/bad.py")
+    assert len(findings) == 1
+    assert findings[0].rule == "SL000"
+    assert "syntax error" in findings[0].message
+
+
+def test_fingerprint_stable_across_line_moves() -> None:
+    before = lint("import time\nx = time.time()\n")
+    after = lint("import time\n\n\n# a comment\nx = time.time()\n")
+    assert before[0].line != after[0].line
+    assert before[0].fingerprint == after[0].fingerprint
+
+
+def test_fingerprint_distinguishes_rules_and_files() -> None:
+    code = "import time\nx = time.time()\n"
+    a = lint_source(code, "src/repro/a.py", module="repro.a")
+    b = lint_source(code, "src/repro/b.py", module="repro.b")
+    assert a[0].fingerprint != b[0].fingerprint
+
+
+def test_lint_paths_walks_directories(tmp_path) -> None:
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "good.py").write_text("x = 1\n")
+    (pkg / "bad.py").write_text("import time\nx = time.time()\n")
+    (pkg / "__pycache__").mkdir()
+    (pkg / "__pycache__" / "junk.py").write_text("import time\ny = time.time()\n")
+    findings = lint_paths([pkg])
+    assert len(findings) == 1
+    assert findings[0].path.endswith("bad.py")
+
+
+def test_lint_paths_missing_target_raises(tmp_path) -> None:
+    with pytest.raises(ParameterError, match="does not exist"):
+        lint_paths([tmp_path / "nope"])
+
+
+def test_iter_python_files_accepts_single_file(tmp_path) -> None:
+    target = tmp_path / "one.py"
+    target.write_text("x = 1\n")
+    assert list(iter_python_files([target])) == [target]
+
+
+def test_finding_as_dict_round_trips_fields() -> None:
+    finding = lint("import time\nx = time.time()\n")[0]
+    payload = finding.as_dict()
+    assert payload["rule"] == "SL002"
+    assert payload["severity"] == "error"
+    assert payload["fingerprint"] == finding.fingerprint

@@ -1,0 +1,96 @@
+"""The ``repro lint`` subcommand and the self-clean acceptance gate."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.cli import main
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def test_lint_src_tree_is_clean(capsys, monkeypatch) -> None:
+    """Acceptance: `repro lint src/` exits 0 on the final tree."""
+    monkeypatch.chdir(ROOT)
+    assert main(["lint", "src"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_lint_json_output_shape(capsys, monkeypatch) -> None:
+    monkeypatch.chdir(ROOT)
+    assert main(["lint", "src", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+    assert payload["summary"]["errors"] == 0
+
+
+def test_lint_list_rules(capsys) -> None:
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SL001", "SL002", "SL003", "SL004", "SL005"):
+        assert rule_id in out
+
+
+def test_lint_fails_on_findings(tmp_path, capsys, monkeypatch) -> None:
+    monkeypatch.chdir(tmp_path)
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nnow = time.time()\n")
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "SL002" in out and "1 error(s)" in out
+
+
+def test_lint_reports_location_and_snippet(tmp_path, capsys, monkeypatch) -> None:
+    monkeypatch.chdir(tmp_path)
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nnow = time.time()\n")
+    main(["lint", str(bad)])
+    out = capsys.readouterr().out
+    assert f"{bad}:2:" in out
+    assert "now = time.time()" in out
+
+
+def test_lint_rule_filter(tmp_path, capsys, monkeypatch) -> None:
+    monkeypatch.chdir(tmp_path)
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\ndef f():\n    assert time.time() > 0\n")
+    assert main(["lint", str(bad), "--rules", "SL004"]) == 1
+    out = capsys.readouterr().out
+    assert "SL004" in out and "SL002" not in out
+
+
+def test_update_baseline_then_clean_then_new_finding(tmp_path, capsys, monkeypatch) -> None:
+    """The full grandfather workflow through the CLI."""
+    monkeypatch.chdir(tmp_path)
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nnow = time.time()\n")
+
+    assert main(["lint", str(bad), "--update-baseline"]) == 0
+    assert (tmp_path / "sieslint.baseline.json").exists()
+    capsys.readouterr()
+
+    # Baselined finding no longer gates...
+    assert main(["lint", str(bad)]) == 0
+    assert "1 baselined finding(s) suppressed" in capsys.readouterr().out
+
+    # ...but a new finding still does.
+    bad.write_text("import time\nnow = time.time()\nlater = time.time_ns()\n")
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "time.time_ns" in out
+
+    # --no-baseline reports everything again.
+    assert main(["lint", str(bad), "--no-baseline"]) == 1
+    assert "2 error(s)" in capsys.readouterr().out
+
+
+def test_explicit_baseline_path(tmp_path, capsys, monkeypatch) -> None:
+    monkeypatch.chdir(tmp_path)
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nnow = time.time()\n")
+    custom = tmp_path / "custom-baseline.json"
+    assert main(["lint", str(bad), "--update-baseline", "--baseline", str(custom)]) == 0
+    assert custom.exists()
+    capsys.readouterr()
+    assert main(["lint", str(bad), "--baseline", str(custom)]) == 0

@@ -1,0 +1,123 @@
+"""``python -O`` smoke tests: the protocol must not rely on ``assert``.
+
+``-O`` strips every assert statement.  Before PR 4 the simulator and CLI
+used asserts for runtime invariants, so an optimised deployment would
+have skipped those checks silently.  These tests run real scenarios in
+``python -O`` subprocesses and prove that verification, attack
+detection, and the CLI all still work with asserts stripped.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+
+def run_optimized(code: str) -> subprocess.CompletedProcess:
+    env = {"PYTHONPATH": str(SRC)}
+    return subprocess.run(
+        [sys.executable, "-O", "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=ROOT,
+        timeout=300,
+    )
+
+
+def test_asserts_actually_stripped_under_dash_o() -> None:
+    proc = run_optimized("assert False, 'stripped'\nprint('ok')")
+    assert proc.returncode == 0 and "ok" in proc.stdout
+
+
+def test_honest_run_verifies_under_dash_o() -> None:
+    proc = run_optimized(
+        """
+from repro import SIESProtocol, NetworkSimulator, build_complete_tree
+from repro.network.simulator import SimulationConfig
+from repro.datasets import DomainScaledWorkload
+
+protocol = SIESProtocol(16, seed=2011)
+metrics = NetworkSimulator(
+    protocol,
+    build_complete_tree(16, 4),
+    DomainScaledWorkload(16, scale=100, seed=2011),
+    SimulationConfig(num_epochs=3),
+).run()
+if not metrics.all_verified():
+    raise SystemExit("honest run failed verification under -O")
+print("verified", metrics.epochs[0].result.value)
+"""
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "verified" in proc.stdout
+
+
+def test_tampering_still_detected_under_dash_o() -> None:
+    """Stripping asserts must not strip the *security* checks."""
+    proc = run_optimized(
+        """
+from repro import SIESProtocol
+from repro.attacks import AdditiveTamperAttack, run_attack_scenario
+from repro.datasets import DomainScaledWorkload
+
+protocol = SIESProtocol(16, seed=2011)
+outcome = run_attack_scenario(
+    protocol,
+    AdditiveTamperAttack(delta=424242, modulus=protocol.p),
+    DomainScaledWorkload(16, scale=100, seed=2011),
+    num_epochs=3,
+)
+if outcome.attack_succeeded_silently:
+    raise SystemExit("tampering accepted under -O")
+if not outcome.detected_epochs:
+    raise SystemExit("no detection under -O")
+print("detected", outcome.detected_epochs)
+"""
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "detected" in proc.stdout
+
+
+def test_cli_run_command_under_dash_o() -> None:
+    proc = run_optimized(
+        """
+from repro.cli import main
+raise SystemExit(main(["run", "--protocol", "sies", "--sources", "16", "--epochs", "2"]))
+"""
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_runtime_recovery_under_dash_o() -> None:
+    """The fault-injecting runtime path (heaviest former assert user)."""
+    proc = run_optimized(
+        """
+from repro import (
+    FaultPlan, RetransmitPolicy, RuntimeConfig, RuntimeSimulator,
+    SIESProtocol, build_complete_tree,
+)
+from repro.datasets import DomainScaledWorkload
+from repro.runtime import LinkProfile
+
+config = RuntimeConfig(
+    num_epochs=3,
+    plan=FaultPlan(default_profile=LinkProfile(loss_rate=0.2, latency=1.0)),
+    policy=RetransmitPolicy(max_retries=4, ack_timeout=12.0),
+    seed=7,
+)
+metrics = RuntimeSimulator(
+    SIESProtocol(16, seed=7),
+    build_complete_tree(16, 4),
+    DomainScaledWorkload(16, scale=100, seed=7),
+    config,
+).run()
+print("epochs", len(metrics.epochs))
+"""
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "epochs 3" in proc.stdout

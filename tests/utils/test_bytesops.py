@@ -70,3 +70,61 @@ def test_constant_time_eq() -> None:
     assert constant_time_eq(b"same", b"same")
     assert not constant_time_eq(b"same", b"diff")
     assert not constant_time_eq(b"same", b"same longer")
+
+
+# ----------------------------------------------------------------------
+# Edge cases: empty inputs, zero lengths, mismatched lengths, bad types.
+
+
+def test_empty_bytes_decode_to_zero() -> None:
+    assert bytes_to_int(b"") == 0
+
+
+def test_zero_length_encoding() -> None:
+    assert int_to_bytes(0, 0) == b""
+    with pytest.raises(ParameterError):
+        int_to_bytes(1, 0)  # non-zero value cannot fit in zero bytes
+
+
+def test_exact_boundary_fits() -> None:
+    # 2^(8k) - 1 is the largest value for k bytes; 2^(8k) must raise.
+    for k in (1, 4, 20):
+        assert int_to_bytes(2 ** (8 * k) - 1, k) == b"\xff" * k
+        with pytest.raises(ParameterError):
+            int_to_bytes(2 ** (8 * k), k)
+
+
+def test_xor_bytes_empty_inputs() -> None:
+    assert xor_bytes(b"", b"") == b""
+
+
+def test_xor_bytes_empty_vs_nonempty_mismatch() -> None:
+    with pytest.raises(ParameterError):
+        xor_bytes(b"", b"\x00")
+
+
+def test_constant_time_eq_empty_inputs() -> None:
+    assert constant_time_eq(b"", b"")
+    assert not constant_time_eq(b"", b"\x00")
+    assert not constant_time_eq(b"\x00", b"")
+
+
+def test_constant_time_eq_accepts_bytearray() -> None:
+    assert constant_time_eq(bytearray(b"mac"), b"mac")
+
+
+def test_constant_time_eq_rejects_mixed_str_bytes() -> None:
+    # hmac.compare_digest refuses str/bytes mixes — a framing bug, not
+    # a comparison result, so it must raise rather than return False.
+    with pytest.raises(TypeError):
+        constant_time_eq("mac", b"mac")  # type: ignore[arg-type]
+
+
+def test_bytes_to_int_rejects_non_bytes() -> None:
+    with pytest.raises(TypeError):
+        bytes_to_int("0102")  # type: ignore[arg-type]
+
+
+def test_int_to_bytes_rejects_non_int_value() -> None:
+    with pytest.raises((TypeError, AttributeError)):
+        int_to_bytes("5")  # type: ignore[arg-type]

@@ -51,3 +51,54 @@ def test_check_type() -> None:
 def test_error_messages_name_the_argument() -> None:
     with pytest.raises(ParameterError, match="fanout"):
         check_positive_int("fanout", -2)
+
+
+# ----------------------------------------------------------------------
+# Edge cases: empty/degenerate ranges, bool traps, tuple type messages.
+
+
+def test_nonnegative_rejects_non_int_types() -> None:
+    for bad in (0.0, "0", None, [0]):
+        with pytest.raises(ParameterError):
+            check_nonnegative_int("n", bad)
+
+
+def test_positive_int_rejects_true_despite_int_subclass() -> None:
+    # bool is an int subclass; counts must never silently accept flags.
+    with pytest.raises(ParameterError):
+        check_positive_int("n", True)
+
+
+def test_in_range_degenerate_single_point() -> None:
+    assert check_in_range("n", 7, 7, 7) == 7
+    with pytest.raises(ParameterError):
+        check_in_range("n", 8, 7, 7)
+
+
+def test_in_range_error_names_bounds() -> None:
+    with pytest.raises(ParameterError, match=r"\[5, 10\]"):
+        check_in_range("n", 99, 5, 10)
+
+
+def test_check_type_tuple_error_message_lists_alternatives() -> None:
+    with pytest.raises(ParameterError, match="int/float"):
+        check_type("x", "nope", (int, float))
+
+
+def test_check_type_single_error_message_names_type() -> None:
+    with pytest.raises(ParameterError, match="str"):
+        check_type("x", 3, str)
+
+
+def test_check_type_accepts_subclasses() -> None:
+    class MyBytes(bytes):
+        pass
+
+    assert check_type("x", MyBytes(b"ok"), bytes) == b"ok"
+
+
+def test_validators_return_the_value_unchanged() -> None:
+    big = 2**200
+    assert check_positive_int("n", big) is big
+    assert check_nonnegative_int("n", big) is big
+    assert check_in_range("n", 5, 0, 10) == 5

@@ -42,6 +42,9 @@ from repro.errors import (
     ReproError,
     SecurityError,
     VerificationFailure,
+    WireDecodeError,
+    WireEncodeError,
+    WireError,
 )
 from repro.network.simulator import NetworkSimulator, SimulationConfig
 from repro.network.topology import build_complete_tree, build_random_tree
@@ -50,6 +53,7 @@ from repro.protocols.registry import available_protocols, create_protocol
 from repro.queries.engine import ContinuousQuery, QueryAnswer
 from repro.queries.query import AggregateKind, Query
 from repro.runtime import FaultPlan, RetransmitPolicy, RuntimeConfig, RuntimeSimulator
+from repro.wire import HEADER_LEN, PSRCodec
 
 __all__ = [
     "__version__",
@@ -67,6 +71,9 @@ __all__ = [
     "SimulationConfig",
     "build_complete_tree",
     "build_random_tree",
+    # wire format
+    "HEADER_LEN",
+    "PSRCodec",
     # fault-injecting event runtime
     "RuntimeSimulator",
     "RuntimeConfig",
@@ -85,4 +92,7 @@ __all__ = [
     "IntegrityError",
     "FreshnessError",
     "VerificationFailure",
+    "WireError",
+    "WireEncodeError",
+    "WireDecodeError",
 ]

@@ -15,6 +15,9 @@ Importing this package registers every rule with the framework registry:
   shipped code (stripped under ``python -O``).
 * **SL005** ``broad-except`` — no ``except Exception``/bare ``except``
   that can swallow ``ProtocolError``.
+* **SL006** ``unsafe-deserialization`` — no pickle/marshal/eval/exec on
+  paths that parse received bytes; decoding goes through the typed
+  :mod:`repro.wire` codecs.
 """
 
 from repro.analysis.rules.bare_assert import BareAssertRule
@@ -22,6 +25,7 @@ from repro.analysis.rules.broad_except import BroadExceptRule
 from repro.analysis.rules.crypto_arith import CryptoArithmeticRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.secret_flow import SecretFlowRule
+from repro.analysis.rules.unsafe_deserialization import UnsafeDeserializationRule
 
 __all__ = [
     "SecretFlowRule",
@@ -29,4 +33,5 @@ __all__ = [
     "CryptoArithmeticRule",
     "BareAssertRule",
     "BroadExceptRule",
+    "UnsafeDeserializationRule",
 ]

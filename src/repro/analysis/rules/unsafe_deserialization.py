@@ -1,0 +1,96 @@
+"""SL006 — no pickle/marshal/eval/exec on deserialization paths.
+
+The wire layer's security argument starts with the decoder: a received
+frame is attacker-controlled bytes, and the only acceptable way to
+parse it is fixed-width binary reads that fail closed with a typed
+:class:`repro.errors.WireDecodeError`.  ``pickle.loads`` (and friends)
+on such bytes is arbitrary code execution; ``eval``/``exec`` on any
+string derived from input is the same bug with extra steps.  This rule
+bans the whole family from shipped code:
+
+* importing ``pickle``, ``cPickle``, ``dill``, ``shelve`` or
+  ``marshal`` (the import is the gateway — there is no safe use of
+  these on untrusted bytes, and the repo has no trusted-cache use);
+* calling any load/dump entry point of those modules, however aliased
+  (``import pickle as p; p.loads(...)`` is still resolved);
+* calling the ``eval`` or ``exec`` builtins.
+
+``ast.literal_eval``, ``json.loads``, ``struct.unpack`` and
+``int.from_bytes`` remain the sanctioned parsing tools.  Test modules
+are exempt (fixtures legitimately construct malicious payloads).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+
+from repro.analysis.core import LintContext, Rule, Severity, register_rule
+
+__all__ = ["UnsafeDeserializationRule"]
+
+#: Modules whose mere presence on a deserialization path is the defect.
+_BANNED_MODULES = frozenset({"pickle", "cPickle", "_pickle", "dill", "shelve", "marshal"})
+
+#: Builtins that turn data into executed code.
+_BANNED_BUILTINS = frozenset({"eval", "exec"})
+
+
+def _is_test_module(path: str) -> bool:
+    parts = PurePath(path).parts
+    return "tests" in parts or PurePath(path).name.startswith("test_")
+
+
+def _module_root(dotted: str) -> str:
+    return dotted.split(".", 1)[0]
+
+
+@register_rule
+class UnsafeDeserializationRule(Rule):
+    rule_id = "SL006"
+    severity = Severity.ERROR
+    description = (
+        "pickle/marshal/eval/exec deserialize attacker bytes into code "
+        "execution; decode with the typed fixed-width wire codecs instead"
+    )
+    interests = (ast.Import, ast.ImportFrom, ast.Call)
+
+    def begin_module(self, ctx: LintContext) -> bool:
+        return not _is_test_module(ctx.path)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = _module_root(alias.name)
+                if root in _BANNED_MODULES:
+                    ctx.report(
+                        self, node,
+                        f"import of {root!r}: unserializable-by-policy — wire data "
+                        "must go through repro.wire codecs, never object pickling",
+                    )
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.module and _module_root(node.module) in _BANNED_MODULES:
+                ctx.report(
+                    self, node,
+                    f"import from {_module_root(node.module)!r}: unserializable-by-"
+                    "policy — wire data must go through repro.wire codecs",
+                )
+            return
+        if not isinstance(node, ast.Call):
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _BANNED_BUILTINS:
+            ctx.report(
+                self, node,
+                f"{func.id}() executes its input; parsing received bytes must "
+                "use the typed wire codecs (or ast.literal_eval for literals)",
+            )
+            return
+        target = ctx.qualified_call_target(node)
+        if target is not None and _module_root(target) in _BANNED_MODULES:
+            ctx.report(
+                self, node,
+                f"call to {target}: {_module_root(target)} runs arbitrary code "
+                "on attacker-controlled bytes; use the typed wire codecs",
+            )

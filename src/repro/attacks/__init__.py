@@ -17,6 +17,14 @@ from repro.attacks.adversary import (
     SketchInflationAttack,
 )
 from repro.attacks.scenarios import AttackOutcome, run_attack_scenario
+from repro.attacks.wire import (
+    FrameAttack,
+    FrameBitFlipAttack,
+    FrameInjectionAttack,
+    FrameReplayAttack,
+    FrameTruncationAttack,
+    HeaderForgeryAttack,
+)
 
 __all__ = [
     "AdditiveTamperAttack",
@@ -26,6 +34,12 @@ __all__ = [
     "Eavesdropper",
     "SketchInflationAttack",
     "SketchDeflationAttack",
+    "FrameAttack",
+    "FrameBitFlipAttack",
+    "FrameTruncationAttack",
+    "HeaderForgeryAttack",
+    "FrameReplayAttack",
+    "FrameInjectionAttack",
     "AttackOutcome",
     "run_attack_scenario",
 ]

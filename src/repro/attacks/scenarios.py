@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from repro.attacks.wire import FrameAttack
 from repro.errors import SimulationError
 from repro.network.channel import Interceptor
 from repro.network.simulator import NetworkSimulator, SimulationConfig, Workload
@@ -67,7 +68,7 @@ class AttackOutcome:
 
 def run_attack_scenario(
     protocol: SecureAggregationProtocol,
-    attack: Interceptor,
+    attack: "Interceptor | FrameAttack",
     workload: Workload,
     *,
     tree: AggregationTree | None = None,
@@ -90,7 +91,12 @@ def run_attack_scenario(
     simulator = NetworkSimulator(
         protocol, tree, workload, SimulationConfig(num_epochs=num_epochs)
     )
-    simulator.channel.add_interceptor(attack)
+    # A FrameAttack corrupts the encoded bytes in flight; everything
+    # else operates on the decoded PSR.  Same run, same classification.
+    if isinstance(attack, FrameAttack):
+        simulator.channel.add_frame_interceptor(attack)
+    else:
+        simulator.channel.add_interceptor(attack)
     metrics = simulator.run()
 
     if truth is None:

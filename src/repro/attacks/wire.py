@@ -1,0 +1,239 @@
+"""Byte-level adversaries operating on encoded wire frames.
+
+Where :mod:`repro.attacks.adversary` rewrites decoded PSR objects,
+these attacks corrupt the **actual frame bytes** in flight — the form
+an adversary on a real radio sees.  Each is a callable
+``(bytes, EdgeClass) -> bytes | None`` suitable for
+:meth:`repro.network.channel.Channel.add_frame_interceptor`.
+
+Detection splits into two layers, and the split is the point:
+
+* attacks that break the *format* (truncation, magic/version forgery,
+  garbage injection) die in the decoder with a typed
+  :class:`~repro.errors.WireDecodeError` — the receiver drops the frame
+  and the epoch surfaces as ``MessageLost``, a trivially detected DoS;
+* attacks that keep the format valid (payload bit flips, header-epoch
+  relabelling, whole-frame replay) decode into a well-formed but wrong
+  PSR — catching those is the *protocol's* job, and Theorems 2 and 4
+  say SIES must reject every one while CMT accepts them silently.
+
+Frame attacks parse the (plaintext, attacker-readable) header to record
+which epochs they touched, mirroring the PSR attacks' bookkeeping so
+:func:`repro.attacks.scenarios.run_attack_scenario` classifies both
+kinds identically.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError, WireDecodeError
+from repro.network.channel import EdgeClass
+from repro.wire.frame import HEADER_LEN, decode_header
+
+__all__ = [
+    "FrameAttack",
+    "FrameBitFlipAttack",
+    "FrameTruncationAttack",
+    "HeaderForgeryAttack",
+    "FrameReplayAttack",
+    "FrameInjectionAttack",
+]
+
+_EPOCH_SLICE = slice(4, 12)
+
+
+def _frame_epoch(frame: bytes) -> int | None:
+    """Best-effort epoch read from a frame an attacker holds."""
+    try:
+        return decode_header(frame).epoch
+    except WireDecodeError:
+        return None
+
+
+class FrameAttack:
+    """Base for byte-level attacks: edge filtering + fired-epoch ledger.
+
+    ``isinstance(attack, FrameAttack)`` is how the scenario runner knows
+    to mount an attack at the frame layer instead of the PSR layer.
+    """
+
+    def __init__(self, edge_class: EdgeClass | None) -> None:
+        self.edge_class = edge_class
+        self.applications: list[int] = []
+
+    def _applies(self, edge: EdgeClass) -> bool:
+        return self.edge_class is None or edge is self.edge_class
+
+    def _record(self, frame: bytes) -> None:
+        epoch = _frame_epoch(frame)
+        if epoch is not None:
+            self.applications.append(epoch)
+
+    @property
+    def times_applied(self) -> int:
+        return len(self.applications)
+
+    def __call__(self, frame: bytes, edge: EdgeClass) -> bytes | None:
+        raise NotImplementedError
+
+
+class FrameBitFlipAttack(FrameAttack):
+    """Flips one *payload* bit — radio corruption / minimal tampering.
+
+    The frame still parses (header untouched, length unchanged), so the
+    corrupted PSR reaches the querier: SIES rejects it (Theorem 2), CMT
+    accepts a wrong SUM.  Deterministic bit position per epoch so runs
+    replay.
+    """
+
+    def __init__(
+        self, *, edge_class: EdgeClass | None = EdgeClass.AGGREGATOR_TO_QUERIER
+    ) -> None:
+        super().__init__(edge_class)
+
+    def __call__(self, frame: bytes, edge: EdgeClass) -> bytes:
+        if not self._applies(edge) or len(frame) <= HEADER_LEN:
+            return frame
+        epoch = _frame_epoch(frame)
+        payload_bits = (len(frame) - HEADER_LEN) * 8
+        bit = ((epoch or 0) * 7919) % payload_bits  # deterministic spread
+        index = HEADER_LEN + bit // 8
+        mutated = bytearray(frame)
+        mutated[index] ^= 1 << (bit % 8)
+        self._record(frame)
+        return bytes(mutated)
+
+
+class FrameTruncationAttack(FrameAttack):
+    """Cuts bytes off the end of the frame.
+
+    The header's ``payload_len`` no longer matches (or the header itself
+    is cut short), so the receiver's decoder raises
+    :class:`~repro.errors.FrameLengthError` /
+    :class:`~repro.errors.FrameTruncatedError` and drops the frame —
+    the epoch degenerates to a detected ``MessageLost``.
+    """
+
+    def __init__(
+        self,
+        cut_bytes: int = 1,
+        *,
+        edge_class: EdgeClass | None = EdgeClass.AGGREGATOR_TO_QUERIER,
+    ) -> None:
+        super().__init__(edge_class)
+        if cut_bytes <= 0:
+            raise ParameterError(f"cut_bytes must be positive, got {cut_bytes}")
+        self.cut_bytes = cut_bytes
+
+    def __call__(self, frame: bytes, edge: EdgeClass) -> bytes:
+        if not self._applies(edge):
+            return frame
+        self._record(frame)
+        return frame[: max(0, len(frame) - self.cut_bytes)]
+
+
+class HeaderForgeryAttack(FrameAttack):
+    """Rewrites a frame-header field: magic, version, protocol id or epoch.
+
+    Forged magic/version/protocol-id frames die in the decoder (typed
+    drop → ``MessageLost``).  A forged *epoch* is the interesting case:
+    the frame stays perfectly well-formed and the receiver decodes a PSR
+    whose plaintext epoch header lies — precisely the adversary of
+    Theorem 4, which SIES defeats through the key-derived shares rather
+    than by trusting the header.
+    """
+
+    _FIELDS = ("magic", "version", "protocol_id", "epoch")
+
+    def __init__(
+        self,
+        field: str,
+        *,
+        epoch_delta: int = -1,
+        edge_class: EdgeClass | None = EdgeClass.AGGREGATOR_TO_QUERIER,
+    ) -> None:
+        super().__init__(edge_class)
+        if field not in self._FIELDS:
+            raise ParameterError(f"field must be one of {self._FIELDS}, got {field!r}")
+        self.field = field
+        self.epoch_delta = epoch_delta
+
+    def __call__(self, frame: bytes, edge: EdgeClass) -> bytes:
+        if not self._applies(edge) or len(frame) < HEADER_LEN:
+            return frame
+        mutated = bytearray(frame)
+        if self.field == "magic":
+            mutated[0] ^= 0xFF
+        elif self.field == "version":
+            mutated[2] ^= 0xFF
+        elif self.field == "protocol_id":
+            mutated[3] ^= 0xFF
+        else:  # epoch
+            epoch = int.from_bytes(frame[_EPOCH_SLICE], "big")
+            forged = max(0, epoch + self.epoch_delta)
+            mutated[_EPOCH_SLICE] = forged.to_bytes(8, "big")
+        self._record(frame)
+        return bytes(mutated)
+
+
+class FrameReplayAttack(FrameAttack):
+    """Captures the frame at ``capture_epoch`` and replays it afterwards.
+
+    The stale frame's epoch header is relabelled to the current epoch —
+    a pure byte splice, no decoding needed — so the receiver sees a
+    perfectly valid frame carrying last epoch's ciphertext: Theorem 4's
+    replay adversary, end to end on real bytes.
+    """
+
+    def __init__(
+        self,
+        capture_epoch: int,
+        *,
+        edge_class: EdgeClass = EdgeClass.AGGREGATOR_TO_QUERIER,
+    ) -> None:
+        super().__init__(edge_class)
+        self.capture_epoch = capture_epoch
+        self._captured: bytes | None = None
+
+    def __call__(self, frame: bytes, edge: EdgeClass) -> bytes:
+        if not self._applies(edge) or len(frame) < HEADER_LEN:
+            return frame
+        epoch = int.from_bytes(frame[_EPOCH_SLICE], "big")
+        if epoch == self.capture_epoch:
+            self._captured = frame
+            return frame
+        if epoch > self.capture_epoch and self._captured is not None:
+            stale = bytearray(self._captured)
+            stale[_EPOCH_SLICE] = frame[_EPOCH_SLICE]
+            self._record(frame)
+            return bytes(stale)
+        return frame
+
+
+class FrameInjectionAttack(FrameAttack):
+    """Replaces the legitimate frame with attacker-chosen bytes.
+
+    With ``payload=None`` the injected frame reuses the original header
+    over a zeroed payload of the same length (format-valid, content
+    forged — the protocol must catch it); with explicit *payload* bytes
+    the attacker crafts the whole frame body, modelling blind injection
+    that typically dies in the decoder.
+    """
+
+    def __init__(
+        self,
+        payload: bytes | None = None,
+        *,
+        edge_class: EdgeClass = EdgeClass.AGGREGATOR_TO_QUERIER,
+    ) -> None:
+        super().__init__(edge_class)
+        self.payload = payload
+
+    def __call__(self, frame: bytes, edge: EdgeClass) -> bytes:
+        if not self._applies(edge) or len(frame) < HEADER_LEN:
+            return frame
+        self._record(frame)
+        if self.payload is None:
+            return frame[:HEADER_LEN] + bytes(len(frame) - HEADER_LEN)
+        header = bytearray(frame[:HEADER_LEN])
+        header[12:16] = len(self.payload).to_bytes(4, "big")
+        return bytes(header) + self.payload

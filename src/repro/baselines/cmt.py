@@ -22,6 +22,10 @@ from __future__ import annotations
 import secrets
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.wire.codecs import CMTCodec
 
 from repro.crypto.prf import PRF
 from repro.errors import KeyMaterialError, ParameterError, ProtocolError
@@ -183,6 +187,12 @@ class CMTProtocol(SecureAggregationProtocol):
         if len(self.keys) != self.num_sources:
             raise KeyMaterialError("key material inconsistent with source count")
         return CMTQuerier(self.keys, self.n, ops=ops)
+
+    def wire_codec(self) -> "CMTCodec":
+        """Byte codec framing this instance's 20-byte residues."""
+        from repro.wire.codecs import CMTCodec
+
+        return CMTCodec(self.psr_bytes)
 
 
 register_protocol("cmt", CMTProtocol)

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import secrets
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.crypto.hashes import get_hash
 from repro.crypto.hmac import HM1
@@ -50,12 +51,17 @@ from repro.crypto.prf import encode_epoch
 from repro.errors import IntegrityError, ParameterError
 from repro.network.channel import EdgeClass
 from repro.network.topology import AggregationTree
+from repro.protocols.base import PartialStateRecord
 from repro.utils.bytesops import constant_time_eq, xor_bytes
 from repro.utils.rng import DeterministicRandom
 from repro.utils.validation import check_nonnegative_int
 
+if TYPE_CHECKING:
+    from repro.wire.codecs import CommitAttestCodec
+
 __all__ = [
     "CommitmentNode",
+    "CommitLabelRecord",
     "CommitmentTree",
     "verify_inclusion",
     "CommitAttestProtocol",
@@ -78,6 +84,23 @@ class CommitmentNode:
     total: int
     count: int
     digest: bytes
+
+    def wire_size(self) -> int:
+        return LABEL_BYTES
+
+
+@dataclass
+class CommitLabelRecord(PartialStateRecord):
+    """A commitment-phase label in flight: epoch header + tree label.
+
+    This is the commit phase's PSR: what one up-stream edge carries.
+    Wrapping :class:`CommitmentNode` (which is pure tree state) with the
+    plaintext epoch header gives the wire codec the same
+    ``(epoch, wire_size)`` surface every other protocol's PSR exposes.
+    """
+
+    node: CommitmentNode
+    epoch: int
 
     def wire_size(self) -> int:
         return LABEL_BYTES
@@ -209,6 +232,12 @@ class CommitAttestProtocol:
     def ok_mac(self, source_id: int, epoch: int, root: CommitmentNode) -> bytes:
         """A sensor's epoch-bound acknowledgement of *root*."""
         return HM1(self.ok_keys[source_id], encode_epoch(epoch) + root.digest)
+
+    def wire_codec(self) -> "CommitAttestCodec":
+        """Byte codec framing the commit phase's 40-byte labels."""
+        from repro.wire.codecs import CommitAttestCodec
+
+        return CommitAttestCodec()
 
     def expected_ok_aggregate(self, epoch: int, root: CommitmentNode) -> bytes:
         return xor_bytes_all(

@@ -18,6 +18,7 @@ from __future__ import annotations
 import secrets
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.baselines.secoa.certificates import (
     aggregate_certificates,
@@ -39,6 +40,9 @@ from repro.protocols.base import (
 from repro.protocols.registry import register_protocol
 from repro.utils.bytesops import bytes_to_int, constant_time_eq
 from repro.utils.rng import DeterministicRandom
+
+if TYPE_CHECKING:
+    from repro.wire.codecs import SECOAMaxCodec
 
 __all__ = ["SECOAMaxRecord", "SECOAMaxProtocol"]
 
@@ -261,6 +265,12 @@ class SECOAMaxProtocol(SecureAggregationProtocol):
 
     def create_querier(self, *, ops: OpCounter | None = None) -> SECOAMaxQuerier:
         return SECOAMaxQuerier(self.cert_keys, self.seed_keys, self.seal_context, ops=ops)
+
+    def wire_codec(self) -> "SECOAMaxCodec":
+        """Byte codec bound to this instance's SEAL width."""
+        from repro.wire.codecs import SECOAMaxCodec
+
+        return SECOAMaxCodec(seal_bytes=self.seal_context.seal_bytes)
 
 
 register_protocol("secoa_m", SECOAMaxProtocol)

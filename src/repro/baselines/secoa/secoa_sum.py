@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.baselines.secoa.certificates import (
     aggregate_certificates,
@@ -47,6 +48,9 @@ from repro.protocols.base import (
 from repro.protocols.registry import register_protocol
 from repro.utils.bytesops import bytes_to_int, constant_time_eq
 from repro.utils.rng import derive_seed
+
+if TYPE_CHECKING:
+    from repro.wire.codecs import SECOASumCodec
 
 __all__ = ["SECOASumRecord", "SECOASumProtocol", "PAPER_NUM_SKETCHES"]
 
@@ -349,6 +353,14 @@ class SECOASumProtocol(SecureAggregationProtocol):
     def create_querier(self, *, ops: OpCounter | None = None) -> SECOASumQuerier:
         return SECOASumQuerier(
             self.cert_keys, self.seed_keys, self.seal_context, self.num_sketches, ops=ops
+        )
+
+    def wire_codec(self) -> "SECOASumCodec":
+        """Byte codec bound to this instance's ``J`` and SEAL width."""
+        from repro.wire.codecs import SECOASumCodec
+
+        return SECOASumCodec(
+            num_sketches=self.num_sketches, seal_bytes=self.seal_context.seal_bytes
         )
 
 

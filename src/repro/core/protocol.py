@@ -20,6 +20,8 @@ SIES provides all four security properties and exact answers::
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.aggregator import SIESAggregator
 from repro.core.keys import SIESKeyMaterial
 from repro.core.layout import MessageLayout
@@ -29,6 +31,9 @@ from repro.core.source import SIESSource
 from repro.crypto.keycache import KeyScheduleCache
 from repro.protocols.base import OpCounter, SecureAggregationProtocol
 from repro.protocols.registry import register_protocol
+
+if TYPE_CHECKING:
+    from repro.wire.codecs import SIESCodec
 
 __all__ = ["SIESProtocol"]
 
@@ -93,6 +98,12 @@ class SIESProtocol(SecureAggregationProtocol):
 
     def create_aggregator(self, *, ops: OpCounter | None = None) -> SIESAggregator:
         return SIESAggregator(self.params.p, ops=ops)
+
+    def wire_codec(self) -> "SIESCodec":
+        """Byte codec framing this instance's ``|p|``-byte residues."""
+        from repro.wire.codecs import SIESCodec
+
+        return SIESCodec(self.params.modulus_bytes)
 
     def create_querier(
         self,

@@ -21,6 +21,15 @@ __all__ = [
     "TopologyError",
     "SimulationError",
     "ProtocolError",
+    "WireError",
+    "WireEncodeError",
+    "WireDecodeError",
+    "FrameTruncatedError",
+    "FrameMagicError",
+    "FrameVersionError",
+    "FrameProtocolIdError",
+    "FrameLengthError",
+    "PayloadFormatError",
     "SecurityError",
     "IntegrityError",
     "FreshnessError",
@@ -62,6 +71,54 @@ class SimulationError(ReproError):
 
 class ProtocolError(ReproError):
     """A protocol message violates the protocol's framing or sequencing."""
+
+
+class WireError(ProtocolError):
+    """Base class for wire-format (frame codec) failures.
+
+    Derives from :class:`ProtocolError`: a malformed frame *is* a
+    protocol-framing violation.  Encoding errors indicate a local bug or
+    an out-of-domain PSR; decoding errors are expected events on a
+    hostile channel and are typed precisely so receivers can drop the
+    frame (and account the drop) without a broad ``except``.
+    """
+
+
+class WireEncodeError(WireError):
+    """A PSR cannot be serialized (field out of the wire format's domain)."""
+
+
+class WireDecodeError(WireError):
+    """Base class for every malformed-frame condition.
+
+    Receivers treat any :class:`WireDecodeError` as "discard the frame";
+    the concrete subclass says *why* — never an ``AssertionError``, never
+    a crash, even under ``python -O`` (see ``tests/wire/test_fuzz.py``).
+    """
+
+
+class FrameTruncatedError(WireDecodeError):
+    """The frame is shorter than the fixed header."""
+
+
+class FrameMagicError(WireDecodeError):
+    """The frame does not start with the wire-format magic bytes."""
+
+
+class FrameVersionError(WireDecodeError):
+    """The frame advertises an unsupported wire-format version."""
+
+
+class FrameProtocolIdError(WireDecodeError):
+    """The frame's protocol id is unknown or not the receiver's codec."""
+
+
+class FrameLengthError(WireDecodeError):
+    """The header's payload length disagrees with the bytes present."""
+
+
+class PayloadFormatError(WireDecodeError):
+    """The payload bytes do not parse as the codec's PSR layout."""
 
 
 class SecurityError(ReproError):

@@ -83,7 +83,10 @@ class NetworkSimulator:
         self.tree = tree
         self.workload = workload
         self.config = config or SimulationConfig()
-        self.channel = Channel()
+        # Codec-backed channel: every hop transmits the PSR's real byte
+        # frame (encode → adversary → decode), with measured frame bytes
+        # cross-checked against the analytic wire_size() per message.
+        self.channel = Channel(codec=protocol.wire_codec())
 
         # Role instantiation — the protocol's setup phase already ran in
         # its constructor; here each party receives its role object.

@@ -35,12 +35,19 @@ __all__ = [
 
 
 class PartialStateRecord(ABC):
-    """A protocol-specific PSR; the network layer only needs its size.
+    """A protocol-specific PSR.
 
     Concrete PSRs must also expose an ``epoch`` attribute: it models the
-    plaintext epoch header a real packet would carry.  Being a header it
-    is *attacker-controlled* — protocols must not trust it for security
+    plaintext epoch header a real packet would carry (and that the wire
+    codec writes into the frame header).  Being a header it is
+    *attacker-controlled* — protocols must not trust it for security
     (SIES derives freshness from the shares instead, Theorem 4).
+
+    On the wire a PSR travels as a byte frame produced by the protocol's
+    :class:`repro.wire.codec.PSRCodec` (see :meth:`SecureAggregationProtocol.
+    wire_codec`); ``wire_size()`` remains the *analytic* payload size the
+    paper's communication model counts, cross-checked against the real
+    encoding on every transmission.
     """
 
     #: Epoch header (set by subclasses; plaintext metadata, untrusted).
@@ -48,7 +55,7 @@ class PartialStateRecord(ABC):
 
     @abstractmethod
     def wire_size(self) -> int:
-        """Serialized size in bytes — drives Table V / communication cost."""
+        """Analytic serialized size in bytes — drives Table V / communication cost."""
 
 
 @dataclass
@@ -247,6 +254,19 @@ class SecureAggregationProtocol(ABC):
     @abstractmethod
     def create_querier(self, *, ops: OpCounter | None = None) -> QuerierRole:
         """Role for the querier, holding all verification material."""
+
+    def wire_codec(self) -> "Any | None":
+        """The byte codec serializing this protocol's PSRs, or ``None``.
+
+        Returns a :class:`repro.wire.codec.PSRCodec` bound to this
+        instance's framing parameters (modulus width, sketch count…).
+        Every built-in protocol provides one; simulators pass it to the
+        :class:`~repro.network.channel.Channel` so each hop transmits a
+        real encoded frame.  ``None`` (the default for third-party
+        protocols without a wire format yet) keeps the channel in the
+        analytic, object-passing mode.
+        """
+        return None
 
     def _check_source_id(self, source_id: int) -> int:
         if not 0 <= source_id < self.num_sources:

@@ -14,9 +14,22 @@ from typing import Any
 from repro.errors import ConfigurationError
 from repro.protocols.base import SecureAggregationProtocol
 
-__all__ = ["register_protocol", "create_protocol", "available_protocols"]
+__all__ = [
+    "register_protocol",
+    "create_protocol",
+    "available_protocols",
+    "register_wire_protocol_id",
+    "wire_protocol_id",
+    "wire_protocol_name",
+    "registered_wire_protocols",
+]
 
 _REGISTRY: dict[str, Callable[..., SecureAggregationProtocol]] = {}
+
+#: Frame-header protocol ids (1 byte each; 0 is reserved/invalid).
+#: Codec modules register here at import time so the id ↔ name mapping
+#: lives next to the protocol-name registry and stays collision-checked.
+_WIRE_IDS: dict[str, int] = {}
 
 
 def register_protocol(name: str, factory: Callable[..., SecureAggregationProtocol]) -> None:
@@ -24,11 +37,65 @@ def register_protocol(name: str, factory: Callable[..., SecureAggregationProtoco
     _REGISTRY[name] = factory
 
 
+def register_wire_protocol_id(name: str, protocol_id: int) -> int:
+    """Claim frame-header id *protocol_id* for protocol *name*.
+
+    Idempotent for the same (name, id) pair; a conflicting claim is a
+    wiring bug and raises :class:`~repro.errors.ConfigurationError`.
+    Returns the id so codec classes can assign it inline.
+    """
+    if not 1 <= protocol_id <= 0xFF:
+        raise ConfigurationError(
+            f"wire protocol id must be in [1, 255], got {protocol_id} for {name!r}"
+        )
+    existing = _WIRE_IDS.get(name)
+    if existing is not None and existing != protocol_id:
+        raise ConfigurationError(
+            f"protocol {name!r} already registered with wire id {existing}, not {protocol_id}"
+        )
+    for other, oid in _WIRE_IDS.items():
+        if oid == protocol_id and other != name:
+            raise ConfigurationError(
+                f"wire id {protocol_id} already belongs to {other!r}; cannot give it to {name!r}"
+            )
+    _WIRE_IDS[name] = protocol_id
+    return protocol_id
+
+
+def wire_protocol_id(name: str) -> int:
+    """The frame-header id registered for protocol *name*."""
+    _ensure_builtins_loaded()
+    try:
+        return _WIRE_IDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"no wire protocol id registered for {name!r}; "
+            f"registered: {', '.join(sorted(_WIRE_IDS))}"
+        ) from None
+
+
+def wire_protocol_name(protocol_id: int) -> str:
+    """The protocol name owning frame-header id *protocol_id*."""
+    _ensure_builtins_loaded()
+    for name, oid in _WIRE_IDS.items():
+        if oid == protocol_id:
+            return name
+    raise ConfigurationError(f"no protocol registered for wire id {protocol_id}")
+
+
+def registered_wire_protocols() -> dict[str, int]:
+    """Snapshot of the name → frame-header id table."""
+    _ensure_builtins_loaded()
+    return dict(sorted(_WIRE_IDS.items()))
+
+
 def _ensure_builtins_loaded() -> None:
-    # Importing these modules triggers their register_protocol calls.
+    # Importing these modules triggers their register_protocol calls;
+    # the codec module registers the frame-header protocol ids.
     import repro.baselines.cmt  # noqa: F401
     import repro.baselines.secoa.secoa_sum  # noqa: F401
     import repro.core.protocol  # noqa: F401
+    import repro.wire.codecs  # noqa: F401
 
 
 def available_protocols() -> tuple[str, ...]:

@@ -140,7 +140,9 @@ class RuntimeSimulator:
         self.tree = tree
         self.workload = workload
         self.config = config or RuntimeConfig()
-        self.channel = Channel()
+        # Codec-backed channel: the ARQ below transmits real byte frames
+        # (encoded once per parcel, retransmitted byte-identically).
+        self.channel = Channel(codec=protocol.wire_codec())
         self.scheduler = EventScheduler()
         self.injector = FaultInjector(self.config.plan, seed=self.config.seed)
         self.transport = ReliableTransport(

@@ -95,6 +95,9 @@ class Parcel:
     acked: bool = False
     failed: bool = False
     timer: ScheduledEvent | None = field(default=None, repr=False)
+    #: Cached wire encoding from the first attempt — retransmissions put
+    #: byte-identical frames on the air, as a real MAC layer would.
+    frame: bytes | None = field(default=None, repr=False)
 
 
 @dataclass
@@ -191,7 +194,11 @@ class ReliableTransport:
         # The legitimate transmission: byte counters and adversary
         # interceptors apply per physical attempt — retransmissions
         # cost real radio bytes and give the adversary another shot.
-        outcome = self.channel.transmit(message, parcel.edge)
+        # Encode exactly once per parcel; every attempt replays the
+        # identical frame bytes.
+        if self.channel.codec is not None and parcel.frame is None:
+            parcel.frame = self.channel.codec.encode(message.psr)
+        outcome = self.channel.transmit(message, parcel.edge, frame=parcel.frame)
         if outcome is not None:
             verdict = self.injector.attempt(
                 message.sender, message.receiver, parcel.edge, self.scheduler.now

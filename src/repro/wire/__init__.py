@@ -1,0 +1,54 @@
+"""Wire-format layer: byte-exact PSR serialization.
+
+``repro.wire`` turns the simulator's in-memory PSR objects into the
+byte frames a real deployment would transmit.  Three pieces:
+
+* :mod:`repro.wire.frame` — the versioned 16-byte frame header
+  (magic, version, protocol id, epoch, payload length) shared by every
+  protocol;
+* :mod:`repro.wire.codec` — the :class:`~repro.wire.codec.PSRCodec`
+  abstract base enforcing the size contract
+  ``len(encode(psr)) == HEADER_LEN + wire_size() + payload_overhead``;
+* :mod:`repro.wire.codecs` — one concrete codec per built-in protocol
+  (SIES, CMT, SECOA_S, SECOA_M, commit-attest).
+
+All decode failures raise typed :class:`~repro.errors.WireDecodeError`
+subclasses; deserialization is fixed-width binary only — no pickle, no
+``eval`` (enforced by sieslint rule SL006).
+"""
+
+from repro.wire.codec import PSRCodec
+from repro.wire.codecs import (
+    CMTCodec,
+    CommitAttestCodec,
+    SECOAMaxCodec,
+    SECOASumCodec,
+    SIESCodec,
+)
+from repro.wire.frame import (
+    HEADER_LEN,
+    MAGIC,
+    MAX_PAYLOAD_LEN,
+    WIRE_VERSION,
+    FrameHeader,
+    decode_frame,
+    decode_header,
+    encode_frame,
+)
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "HEADER_LEN",
+    "MAX_PAYLOAD_LEN",
+    "FrameHeader",
+    "encode_frame",
+    "decode_header",
+    "decode_frame",
+    "PSRCodec",
+    "SIESCodec",
+    "CMTCodec",
+    "SECOASumCodec",
+    "SECOAMaxCodec",
+    "CommitAttestCodec",
+]

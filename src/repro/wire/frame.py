@@ -1,0 +1,131 @@
+"""The versioned, self-describing frame that carries every PSR.
+
+Every message a simulator transmits is one *frame*::
+
+    offset  size  field
+    ------  ----  -----------------------------------------------------
+         0     2  magic        b"\\x9aS"  (0x9A 0x53, "SIES wire")
+         2     1  version      wire-format version, currently 1
+         3     1  protocol id  which codec parses the payload
+         4     8  epoch        big-endian unsigned epoch header
+        12     4  payload len  big-endian unsigned payload byte count
+        16     …  payload      codec-specific PSR serialization
+
+The 16-byte header is deliberately *plaintext metadata*: like the
+``epoch`` attribute on :class:`~repro.protocols.base.PartialStateRecord`
+it is attacker-controlled, and no protocol derives security from it
+(SIES derives freshness from the shares, Theorem 4).  Its job is
+framing: a receiver can classify, route, and length-check a frame
+without touching the payload.
+
+Versioning rules (see ``docs/wire_format.md``):
+
+* the magic and the header layout never change;
+* a payload-layout change bumps ``WIRE_VERSION``;
+* decoders reject versions they do not speak with
+  :class:`~repro.errors.FrameVersionError` — there is no silent
+  best-effort parsing of foreign versions.
+
+Decoding never asserts and never raises anything outside the
+:class:`~repro.errors.WireDecodeError` hierarchy for malformed input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import (
+    FrameLengthError,
+    FrameMagicError,
+    FrameTruncatedError,
+    FrameVersionError,
+    WireEncodeError,
+)
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "HEADER_LEN",
+    "MAX_PAYLOAD_LEN",
+    "FrameHeader",
+    "encode_frame",
+    "decode_header",
+    "decode_frame",
+]
+
+#: Two fixed bytes opening every frame.
+MAGIC = b"\x9aS"
+#: Current wire-format version (bumped on any payload-layout change).
+WIRE_VERSION = 1
+#: Fixed header size: magic(2) + version(1) + protocol id(1) + epoch(8) + length(4).
+HEADER_LEN = 16
+#: Upper bound accepted for the payload-length field (4-byte unsigned).
+MAX_PAYLOAD_LEN = (1 << 32) - 1
+
+_EPOCH_MAX = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """The parsed fixed header of one frame."""
+
+    version: int
+    protocol_id: int
+    epoch: int
+    payload_len: int
+
+
+def encode_frame(protocol_id: int, epoch: int, payload: bytes) -> bytes:
+    """Assemble a frame from its parts (the codec layer's exit point)."""
+    if not 0 <= protocol_id <= 0xFF:
+        raise WireEncodeError(f"protocol id {protocol_id} does not fit the 1-byte field")
+    if not 0 <= epoch <= _EPOCH_MAX:
+        raise WireEncodeError(f"epoch {epoch} does not fit the 8-byte header field")
+    if len(payload) > MAX_PAYLOAD_LEN:
+        raise WireEncodeError(f"payload of {len(payload)} bytes exceeds the 4-byte length field")
+    return (
+        MAGIC
+        + bytes((WIRE_VERSION, protocol_id))
+        + epoch.to_bytes(8, "big")
+        + len(payload).to_bytes(4, "big")
+        + payload
+    )
+
+
+def decode_header(frame: bytes) -> FrameHeader:
+    """Parse and validate the fixed header (payload not inspected)."""
+    if not isinstance(frame, (bytes, bytearray, memoryview)):
+        raise FrameTruncatedError(f"frame must be bytes, got {type(frame).__name__}")
+    frame = bytes(frame)
+    if len(frame) < HEADER_LEN:
+        raise FrameTruncatedError(
+            f"frame of {len(frame)} bytes is shorter than the {HEADER_LEN}-byte header"
+        )
+    if frame[:2] != MAGIC:
+        raise FrameMagicError(f"bad magic {frame[:2]!r}; expected {MAGIC!r}")
+    version = frame[2]
+    if version != WIRE_VERSION:
+        raise FrameVersionError(f"unsupported wire version {version}; this build speaks {WIRE_VERSION}")
+    return FrameHeader(
+        version=version,
+        protocol_id=frame[3],
+        epoch=int.from_bytes(frame[4:12], "big"),
+        payload_len=int.from_bytes(frame[12:16], "big"),
+    )
+
+
+def decode_frame(frame: bytes) -> tuple[FrameHeader, bytes]:
+    """Split a frame into its validated header and exact payload bytes.
+
+    The length field must account for every byte after the header —
+    both truncation and trailing garbage raise
+    :class:`~repro.errors.FrameLengthError` (a frame is not allowed to
+    smuggle unaccounted bytes past the counters).
+    """
+    header = decode_header(frame)
+    payload = bytes(frame)[HEADER_LEN:]
+    if header.payload_len != len(payload):
+        raise FrameLengthError(
+            f"header announces {header.payload_len} payload bytes but {len(payload)} are present"
+        )
+    return header, payload

@@ -16,8 +16,8 @@ def lint(code: str, module: str = "repro.somewhere", **kwargs) -> list:
                        module=module, **kwargs)
 
 
-def test_all_five_rules_registered() -> None:
-    assert available_rules() == ("SL001", "SL002", "SL003", "SL004", "SL005")
+def test_all_builtin_rules_registered() -> None:
+    assert available_rules() == ("SL001", "SL002", "SL003", "SL004", "SL005", "SL006")
 
 
 def test_rule_catalog_has_severity_and_description() -> None:

@@ -28,7 +28,7 @@ def test_lint_json_output_shape(capsys, monkeypatch) -> None:
 def test_lint_list_rules(capsys) -> None:
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("SL001", "SL002", "SL003", "SL004", "SL005"):
+    for rule_id in ("SL001", "SL002", "SL003", "SL004", "SL005", "SL006"):
         assert rule_id in out
 
 

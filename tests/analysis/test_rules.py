@@ -336,6 +336,97 @@ class TestBroadExcept:
 
 
 # ----------------------------------------------------------------------
+# SL006 unsafe-deserialization
+
+
+class TestUnsafeDeserialization:
+    def test_positive_pickle_loads(self) -> None:
+        findings = lint("""
+        import pickle
+        def decode_payload(payload):
+            return pickle.loads(payload)
+        """)
+        assert rules_of(findings) == {"SL006"}
+        assert len(findings) == 2  # the import and the call
+
+    def test_positive_aliased_pickle(self) -> None:
+        findings = lint("""
+        import pickle as codec
+        def decode_payload(payload):
+            return codec.loads(payload)
+        """)
+        assert rules_of(findings) == {"SL006"}
+        assert len(findings) == 2
+
+    def test_positive_from_import_marshal(self) -> None:
+        findings = lint("""
+        from marshal import loads
+        def decode_payload(payload):
+            return loads(payload)
+        """)
+        assert rules_of(findings) == {"SL006"}
+
+    def test_positive_eval_of_received_text(self) -> None:
+        findings = lint("""
+        def decode_payload(payload):
+            return eval(payload.decode("ascii"))
+        """)
+        assert rules_of(findings) == {"SL006"}
+        assert "eval" in findings[0].message
+
+    def test_positive_exec_builtin(self) -> None:
+        findings = lint("""
+        def run_config(text):
+            exec(text)
+        """)
+        assert rules_of(findings) == {"SL006"}
+
+    def test_negative_fixed_width_binary_decode(self) -> None:
+        findings = lint("""
+        import struct
+        def decode_payload(payload):
+            value = int.from_bytes(payload[:4], "big")
+            position, = struct.unpack(">H", payload[4:6])
+            return value, position
+        """)
+        assert findings == []
+
+    def test_negative_literal_eval_and_json(self) -> None:
+        findings = lint("""
+        import ast
+        import json
+        def decode_config(text):
+            return ast.literal_eval(text), json.loads(text)
+        """)
+        assert findings == []
+
+    def test_negative_method_named_eval_not_builtin(self) -> None:
+        findings = lint("""
+        def evaluate(querier, epoch, psr):
+            return querier.evaluate(epoch, psr)
+        """)
+        assert findings == []
+
+    def test_test_modules_exempt(self) -> None:
+        findings = lint(
+            """
+            import pickle
+            def make_malicious_fixture(obj):
+                return pickle.dumps(obj)
+            """,
+            module="tests.wire.test_fuzz",
+            path="tests/wire/test_fuzz.py",
+        )
+        assert findings == []
+
+    def test_inline_pragma_suppresses(self) -> None:
+        findings = lint("""
+        import marshal  # sieslint: disable=SL006
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Acceptance-criteria mutations: removing a defence must trip the linter.
 
 

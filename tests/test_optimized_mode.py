@@ -121,3 +121,45 @@ print("epochs", len(metrics.epochs))
     )
     assert proc.returncode == 0, proc.stderr
     assert "epochs 3" in proc.stdout
+
+
+def test_wire_fuzz_raises_typed_errors_under_dash_o() -> None:
+    """Decoders must fail with WireDecodeError even with asserts stripped.
+
+    A decoder that validated with `assert` would accept (or crash on)
+    malformed frames under -O; this drives truncations, header
+    mutations, and random garbage through every builtin codec inside an
+    optimised subprocess and demands typed failures only.
+    """
+    proc = run_optimized(
+        """
+import random
+from repro.errors import WireDecodeError
+from repro.protocols.registry import create_protocol
+from repro.wire.frame import HEADER_LEN
+
+checked = 0
+for name in ("sies", "cmt", "secoa_s"):
+    kwargs = {"num_sketches": 3} if name == "secoa_s" else {}
+    protocol = create_protocol(name, 4, seed=3, **kwargs)
+    codec = protocol.wire_codec()
+    frame = codec.encode(protocol.create_source(0).initialize(2, 42))
+    blobs = [frame[:cut] for cut in range(len(frame))]
+    for index in range(HEADER_LEN):
+        mutated = bytearray(frame)
+        mutated[index] ^= 0xFF
+        blobs.append(bytes(mutated))
+    rng = random.Random(name)
+    blobs.extend(rng.randbytes(rng.randrange(0, 200)) for _ in range(200))
+    for blob in blobs:
+        try:
+            codec.decode(blob)
+        except WireDecodeError:
+            checked += 1
+        except Exception as exc:  # pragma: no cover - the failure we hunt
+            raise SystemExit(f"untyped decode failure {type(exc).__name__}: {exc}")
+print("typed-failures", checked > 0)
+"""
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "typed-failures True" in proc.stdout

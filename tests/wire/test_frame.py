@@ -1,0 +1,102 @@
+"""Frame-header layer: layout, versioning, typed failure modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    FrameLengthError,
+    FrameMagicError,
+    FrameTruncatedError,
+    FrameVersionError,
+    WireDecodeError,
+    WireEncodeError,
+)
+from repro.wire.frame import (
+    HEADER_LEN,
+    MAGIC,
+    MAX_PAYLOAD_LEN,
+    WIRE_VERSION,
+    decode_frame,
+    decode_header,
+    encode_frame,
+)
+
+
+class TestHeaderLayout:
+    def test_header_is_sixteen_bytes(self) -> None:
+        frame = encode_frame(1, 0, b"")
+        assert len(frame) == HEADER_LEN == 16
+
+    def test_fields_at_documented_offsets(self) -> None:
+        frame = encode_frame(0x2A, 0x0102030405060708, b"xyz")
+        assert frame[0:2] == MAGIC
+        assert frame[2] == WIRE_VERSION
+        assert frame[3] == 0x2A
+        assert frame[4:12] == bytes.fromhex("0102030405060708")
+        assert frame[12:16] == (3).to_bytes(4, "big")
+        assert frame[16:] == b"xyz"
+
+    def test_roundtrip_header(self) -> None:
+        header, payload = decode_frame(encode_frame(7, 123456789, b"\x00" * 40))
+        assert header.protocol_id == 7
+        assert header.epoch == 123456789
+        assert header.payload_len == 40
+        assert header.version == WIRE_VERSION
+        assert payload == b"\x00" * 40
+
+    def test_epoch_full_eight_byte_range(self) -> None:
+        epoch = (1 << 64) - 1
+        header, _ = decode_frame(encode_frame(1, epoch, b""))
+        assert header.epoch == epoch
+
+
+class TestEncodeValidation:
+    @pytest.mark.parametrize("protocol_id", [-1, 0x100])
+    def test_protocol_id_out_of_range(self, protocol_id: int) -> None:
+        with pytest.raises(WireEncodeError):
+            encode_frame(protocol_id, 1, b"")
+
+    @pytest.mark.parametrize("epoch", [-1, 1 << 64])
+    def test_epoch_out_of_range(self, epoch: int) -> None:
+        with pytest.raises(WireEncodeError):
+            encode_frame(1, epoch, b"")
+
+    def test_max_payload_len_is_4byte_bound(self) -> None:
+        assert MAX_PAYLOAD_LEN == (1 << 32) - 1
+
+
+class TestDecodeErrors:
+    def test_truncated_header(self) -> None:
+        with pytest.raises(FrameTruncatedError):
+            decode_header(b"\x9aS\x01")
+
+    def test_empty_frame(self) -> None:
+        with pytest.raises(FrameTruncatedError):
+            decode_frame(b"")
+
+    def test_bad_magic(self) -> None:
+        frame = bytearray(encode_frame(1, 1, b"abc"))
+        frame[0] ^= 0xFF
+        with pytest.raises(FrameMagicError):
+            decode_frame(bytes(frame))
+
+    def test_unknown_version(self) -> None:
+        frame = bytearray(encode_frame(1, 1, b"abc"))
+        frame[2] = WIRE_VERSION + 1
+        with pytest.raises(FrameVersionError):
+            decode_frame(bytes(frame))
+
+    def test_payload_length_mismatch_short(self) -> None:
+        frame = encode_frame(1, 1, b"abcdef")
+        with pytest.raises(FrameLengthError):
+            decode_frame(frame[:-2])
+
+    def test_payload_length_mismatch_long(self) -> None:
+        frame = encode_frame(1, 1, b"abcdef")
+        with pytest.raises(FrameLengthError):
+            decode_frame(frame + b"!!")
+
+    def test_all_decode_errors_are_wire_decode_errors(self) -> None:
+        for exc in (FrameTruncatedError, FrameMagicError, FrameVersionError, FrameLengthError):
+            assert issubclass(exc, WireDecodeError)

@@ -1,0 +1,140 @@
+"""Malformed-frame fuzzing: every failure is a typed ``WireDecodeError``.
+
+The decoder's contract under attack: whatever bytes arrive, decoding
+either returns a PSR or raises something in the
+:class:`~repro.errors.WireDecodeError` family.  Nothing else — no
+``AssertionError`` (would vanish under ``python -O``; the contract is
+re-run in an optimised subprocess by ``tests/test_optimized_mode.py``),
+no ``struct.error``/``IndexError``/``KeyError`` leaking from parsing
+internals, and no broad ``except`` hiding a crash.  Mutations are
+seeded, so a failure reproduces from the printed seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.commit_attest import CommitAttestProtocol, CommitLabelRecord
+from repro.baselines.secoa.secoa_sum import SECOASumProtocol
+from repro.errors import PayloadFormatError, WireDecodeError
+from repro.protocols.registry import create_protocol
+from repro.wire.frame import HEADER_LEN
+
+EPOCH = 4
+ROUNDS = 300
+
+
+def _codec_and_frame(name: str):
+    if name == "secoa_s":
+        protocol = SECOASumProtocol(4, num_sketches=3, seed=3)
+        psr = protocol.create_source(0).initialize(EPOCH, 42)
+    elif name == "commit_attest":
+        protocol = CommitAttestProtocol(4, seed=3)
+        psr = CommitLabelRecord(node=protocol.commit([1, 2, 3, 4], EPOCH).root, epoch=EPOCH)
+    else:
+        protocol = create_protocol(name, 4, seed=3)
+        psr = protocol.create_source(0).initialize(EPOCH, 42)
+    codec = protocol.wire_codec()
+    return codec, codec.encode(psr)
+
+
+def _decode_strict(codec, blob: bytes) -> None:
+    """Decode must return a PSR or raise *only* a WireDecodeError."""
+    try:
+        codec.decode(blob)
+    except WireDecodeError:
+        pass
+    # Anything else (AssertionError included) propagates and fails the test.
+
+
+PROTOCOLS = ("sies", "cmt", "secoa_s", "commit_attest")
+
+
+@pytest.mark.parametrize("name", PROTOCOLS)
+class TestFuzzedFrames:
+    def test_random_garbage(self, name: str) -> None:
+        codec, frame = _codec_and_frame(name)
+        rng = random.Random(f"garbage-{name}")
+        for _ in range(ROUNDS):
+            blob = rng.randbytes(rng.randrange(0, 2 * len(frame)))
+            _decode_strict(codec, blob)
+
+    def test_truncations_every_length(self, name: str) -> None:
+        codec, frame = _codec_and_frame(name)
+        for cut in range(len(frame)):
+            with pytest.raises(WireDecodeError):
+                codec.decode(frame[:cut])
+
+    def test_single_byte_mutations_of_header(self, name: str) -> None:
+        codec, frame = _codec_and_frame(name)
+        for index in range(HEADER_LEN):
+            for xor in (0x01, 0x80, 0xFF):
+                mutated = bytearray(frame)
+                mutated[index] ^= xor
+                _decode_strict(codec, bytes(mutated))
+
+    def test_random_splices(self, name: str) -> None:
+        """Cut-and-paste of two valid frames at random offsets."""
+        codec, frame = _codec_and_frame(name)
+        rng = random.Random(f"splice-{name}")
+        for _ in range(ROUNDS):
+            i = rng.randrange(0, len(frame) + 1)
+            j = rng.randrange(0, len(frame) + 1)
+            _decode_strict(codec, frame[:i] + frame[j:])
+
+    def test_length_field_lies(self, name: str) -> None:
+        codec, frame = _codec_and_frame(name)
+        for announced in (0, 1, len(frame) - HEADER_LEN + 1, (1 << 32) - 1):
+            mutated = bytearray(frame)
+            mutated[12:16] = announced.to_bytes(4, "big")
+            if announced == len(frame) - HEADER_LEN:
+                continue
+            with pytest.raises(WireDecodeError):
+                codec.decode(bytes(mutated))
+
+
+class TestPayloadShapes:
+    """Protocol-specific malformed payloads hit PayloadFormatError."""
+
+    def test_secoa_unknown_flag(self) -> None:
+        codec, frame = _codec_and_frame("secoa_s")
+        mutated = bytearray(frame)
+        mutated[HEADER_LEN] = 0x7F  # flags byte: only 0x00/0x01 defined
+        with pytest.raises(PayloadFormatError):
+            codec.decode(bytes(mutated))
+
+    def test_secoa_seal_count_overclaims(self) -> None:
+        codec, frame = _codec_and_frame("secoa_s")
+        mutated = bytearray(frame)
+        offset = HEADER_LEN + 1 + 3 + 3 * 4  # flags + levels + winners
+        mutated[offset : offset + 2] = (999).to_bytes(2, "big")
+        with pytest.raises(PayloadFormatError):
+            codec.decode(bytes(mutated))
+
+    def test_sies_wrong_width(self) -> None:
+        codec, frame = _codec_and_frame("sies")
+        short = frame[:HEADER_LEN] + frame[HEADER_LEN:-1]
+        patched = bytearray(short)
+        patched[12:16] = (len(short) - HEADER_LEN).to_bytes(4, "big")
+        with pytest.raises(PayloadFormatError):
+            codec.decode(bytes(patched))
+
+    def test_commit_attest_trailing_bytes(self) -> None:
+        codec, frame = _codec_and_frame("commit_attest")
+        extended = frame + b"\x00"
+        patched = bytearray(extended)
+        patched[12:16] = (len(extended) - HEADER_LEN).to_bytes(4, "big")
+        with pytest.raises(PayloadFormatError):
+            codec.decode(bytes(patched))
+
+    def test_decode_never_raises_broad(self) -> None:
+        """The channel drop path catches WireDecodeError and nothing else."""
+        import inspect
+
+        from repro.network import channel
+
+        source = inspect.getsource(channel)
+        assert "except Exception" not in source
+        assert "except BaseException" not in source

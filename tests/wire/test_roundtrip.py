@@ -1,0 +1,142 @@
+"""Round-trip property: ``decode(encode(psr))`` evaluates identically.
+
+Not just structural equality — the decoded PSR is fed to the *querier*
+and must produce the same accepted value (or the same rejection) as the
+original object.  Covers the 8-byte value field (paper footnote 1) and
+failure-subset epochs (Section IV-B), where the evaluation consumes the
+``reporting_sources`` manifest alongside the decoded record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.commit_attest import CommitAttestProtocol, CommitLabelRecord
+from repro.baselines.secoa.secoa_max import SECOAMaxProtocol
+from repro.baselines.secoa.secoa_sum import SECOASumProtocol
+from repro.errors import FrameProtocolIdError
+from repro.protocols.registry import create_protocol
+
+EPOCH = 5
+
+
+def roundtrip(codec, psr):
+    decoded = codec.decode(codec.encode(psr))
+    assert type(decoded) is type(psr)
+    assert decoded.epoch == psr.epoch
+    return decoded
+
+
+class TestSIES:
+    @pytest.mark.parametrize("value_bytes", [4, 8])
+    def test_leaf_and_merged_evaluate_identically(self, value_bytes: int) -> None:
+        protocol = create_protocol("sies", 6, value_bytes=value_bytes, seed=9)
+        codec = protocol.wire_codec()
+        values = [3, 1, 4, 1, 5, 9]
+        leaves = [
+            protocol.create_source(i).initialize(EPOCH, v) for i, v in enumerate(values)
+        ]
+        decoded_leaves = [roundtrip(codec, psr) for psr in leaves]
+        assert [d.ciphertext for d in decoded_leaves] == [p.ciphertext for p in leaves]
+
+        merged = protocol.create_aggregator().merge(EPOCH, decoded_leaves)
+        final = roundtrip(codec, merged)
+        result = protocol.create_querier().evaluate(EPOCH, final)
+        assert result.value == sum(values)
+        assert result.verified
+
+    def test_eight_byte_value_large_sum(self) -> None:
+        """Footnote 1: the 8-byte field carries sums past 2^32."""
+        protocol = create_protocol("sies", 2, value_bytes=8, seed=9)
+        codec = protocol.wire_codec()
+        big = 1 << 40
+        leaves = [protocol.create_source(i).initialize(EPOCH, big) for i in range(2)]
+        merged = protocol.create_aggregator().merge(EPOCH, [roundtrip(codec, p) for p in leaves])
+        result = protocol.create_querier().evaluate(EPOCH, roundtrip(codec, merged))
+        assert result.value == 2 * big
+
+    def test_failure_subset_epoch(self) -> None:
+        """Section IV-B: evaluation against a reported-failure subset."""
+        protocol = create_protocol("sies", 5, seed=9)
+        codec = protocol.wire_codec()
+        reporting = [0, 2, 4]
+        leaves = [protocol.create_source(i).initialize(EPOCH, 10 + i) for i in reporting]
+        merged = protocol.create_aggregator().merge(EPOCH, leaves)
+        final = roundtrip(codec, merged)
+        result = protocol.create_querier().evaluate(
+            EPOCH, final, reporting_sources=reporting
+        )
+        assert result.value == sum(10 + i for i in reporting)
+        assert result.verified
+
+    def test_epoch_survives_the_header(self) -> None:
+        protocol = create_protocol("sies", 2, seed=9)
+        codec = protocol.wire_codec()
+        for epoch in (0, 1, 2**32, 2**63):
+            psr = protocol.create_source(0).initialize(epoch, 1)
+            assert roundtrip(codec, psr).epoch == epoch
+
+
+class TestCMT:
+    def test_merged_evaluates_identically(self) -> None:
+        protocol = create_protocol("cmt", 4, seed=9)
+        codec = protocol.wire_codec()
+        values = [7, 11, 13, 17]
+        leaves = [
+            roundtrip(codec, protocol.create_source(i).initialize(EPOCH, v))
+            for i, v in enumerate(values)
+        ]
+        merged = protocol.create_aggregator().merge(EPOCH, leaves)
+        result = protocol.create_querier().evaluate(EPOCH, roundtrip(codec, merged))
+        assert result.value == sum(values)
+
+
+class TestSECOA:
+    def test_sum_internal_and_finalized(self) -> None:
+        protocol = SECOASumProtocol(4, num_sketches=3, seed=9)
+        codec = protocol.wire_codec()
+        aggregator = protocol.create_aggregator()
+        leaves = [
+            roundtrip(codec, protocol.create_source(i).initialize(EPOCH, 20 + i))
+            for i in range(4)
+        ]
+        merged = aggregator.merge(EPOCH, leaves)
+        assert roundtrip(codec, merged) == merged  # internal form, J winner MACs
+        final = aggregator.finalize_for_querier(merged)
+        decoded_final = roundtrip(codec, final)
+        assert decoded_final == final  # folded form, single certificate
+        result = protocol.create_querier().evaluate(EPOCH, decoded_final)
+        assert result.verified
+
+    def test_max_record(self) -> None:
+        protocol = SECOAMaxProtocol(3, seed=9)
+        codec = protocol.wire_codec()
+        leaves = [
+            roundtrip(codec, protocol.create_source(i).initialize(EPOCH, 5 * (i + 1)))
+            for i in range(3)
+        ]
+        merged = protocol.create_aggregator().merge(EPOCH, leaves)
+        result = protocol.create_querier().evaluate(EPOCH, roundtrip(codec, merged))
+        assert result.value == 15
+        assert result.verified
+
+
+class TestCommitAttest:
+    def test_labels_roundtrip_and_verify(self) -> None:
+        protocol = CommitAttestProtocol(4, seed=9)
+        codec = protocol.wire_codec()
+        values = [2, 3, 5, 7]
+        tree = protocol.commit(values, EPOCH)
+        root = roundtrip(codec, CommitLabelRecord(node=tree.root, epoch=EPOCH))
+        assert root.node == tree.root
+        assert root.node.total == sum(values)
+        assert root.node.count == len(values)
+
+
+class TestCrossProtocol:
+    def test_decoding_a_foreign_frame_is_typed(self) -> None:
+        sies = create_protocol("sies", 2, seed=9)
+        cmt = create_protocol("cmt", 2, seed=9)
+        frame = cmt.wire_codec().encode(cmt.create_source(0).initialize(EPOCH, 1))
+        with pytest.raises(FrameProtocolIdError):
+            sies.wire_codec().decode(frame)

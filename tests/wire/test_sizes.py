@@ -1,0 +1,124 @@
+"""Size-contract sweep: ``len(encode(psr)) == HEADER_LEN + wire_size() + overhead``.
+
+The tentpole invariant, checked across every protocol and a parameter
+grid.  For SIES, CMT, and commit-attest the codec overhead is **zero**:
+the analytic ``wire_size()`` the paper's Table V counts is byte-exact
+on the wire (plus the fixed frame header every scheme pays equally).
+SECOA's codecs carry audited structural overhead (winner ids, SEAL
+chain positions, per-sketch MACs on internal records) that the ICDE
+model deliberately does not count — the sweep pins the exact formula so
+any drift is a test failure, not a silent divergence (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.commit_attest import LABEL_BYTES, CommitAttestProtocol, CommitLabelRecord
+from repro.baselines.secoa.secoa_max import SECOAMaxProtocol
+from repro.baselines.secoa.secoa_sum import CERTIFICATE_BYTES, SECOASumProtocol
+from repro.protocols.registry import create_protocol
+from repro.wire.frame import HEADER_LEN
+
+EPOCH = 3
+
+
+def framed(codec, psr) -> bytes:
+    frame = codec.encode(psr)
+    # The announced size must equal the produced size, always.
+    assert len(frame) == codec.framed_size(psr)
+    return frame
+
+
+class TestExactProtocols:
+    """SIES / CMT / commit-attest: zero codec overhead, byte-exact model."""
+
+    @pytest.mark.parametrize("num_sources", [1, 4, 100])
+    @pytest.mark.parametrize("value_bytes", [4, 8])
+    @pytest.mark.parametrize("share_bytes", [10, 20])
+    def test_sies_grid(self, num_sources: int, value_bytes: int, share_bytes: int) -> None:
+        protocol = create_protocol(
+            "sies", num_sources, value_bytes=value_bytes, share_bytes=share_bytes, seed=5
+        )
+        codec = protocol.wire_codec()
+        psr = protocol.create_source(0).initialize(EPOCH, 77)
+        assert len(framed(codec, psr)) == HEADER_LEN + psr.wire_size()
+        assert codec.payload_overhead(psr) == 0
+
+    @pytest.mark.parametrize("num_sources", [1, 4, 64])
+    def test_cmt_grid(self, num_sources: int) -> None:
+        protocol = create_protocol("cmt", num_sources, seed=5)
+        codec = protocol.wire_codec()
+        psr = protocol.create_source(0).initialize(EPOCH, 77)
+        assert psr.wire_size() == 20  # the paper's 2^160 modulus
+        assert len(framed(codec, psr)) == HEADER_LEN + 20
+        assert codec.payload_overhead(psr) == 0
+
+    @pytest.mark.parametrize("num_sources", [2, 8])
+    def test_commit_attest_label(self, num_sources: int) -> None:
+        protocol = CommitAttestProtocol(num_sources, seed=5)
+        codec = protocol.wire_codec()
+        tree = protocol.commit([10 * (i + 1) for i in range(num_sources)], EPOCH)
+        psr = CommitLabelRecord(node=tree.root, epoch=EPOCH)
+        assert psr.wire_size() == LABEL_BYTES == 40
+        assert len(framed(codec, psr)) == HEADER_LEN + LABEL_BYTES
+        assert codec.payload_overhead(psr) == 0
+
+    def test_sies_merged_record_same_size_as_leaf(self) -> None:
+        """SIES's constant-communication property survives encoding."""
+        protocol = create_protocol("sies", 8, seed=5)
+        codec = protocol.wire_codec()
+        leaves = [protocol.create_source(i).initialize(EPOCH, i + 1) for i in range(8)]
+        merged = protocol.create_aggregator().merge(EPOCH, leaves)
+        assert len(framed(codec, merged)) == len(framed(codec, leaves[0]))
+
+
+class TestSecoaOverhead:
+    """SECOA frames exceed the analytic size by an exact, audited amount."""
+
+    @pytest.mark.parametrize("num_sketches", [1, 3, 5])
+    def test_secoa_s_internal_record(self, num_sketches: int) -> None:
+        protocol = SECOASumProtocol(4, num_sketches=num_sketches, seed=5)
+        codec = protocol.wire_codec()
+        psr = protocol.create_source(0).initialize(EPOCH, 50)
+        j = num_sketches
+        # flag + J winner ids (4B) + SEAL count (2B) + one position (2B)
+        # per SEAL + the J-1 extra winner MACs the model counts as one.
+        expected_overhead = (
+            1 + 4 * j + 2 + 2 * len(psr.seals) + (j - 1) * CERTIFICATE_BYTES
+        )
+        assert codec.payload_overhead(psr) == expected_overhead
+        assert len(framed(codec, psr)) == HEADER_LEN + psr.wire_size() + expected_overhead
+
+    @pytest.mark.parametrize("num_sketches", [1, 3])
+    def test_secoa_s_finalized_record(self, num_sketches: int) -> None:
+        protocol = SECOASumProtocol(4, num_sketches=num_sketches, seed=5)
+        codec = protocol.wire_codec()
+        aggregator = protocol.create_aggregator()
+        psrs = [protocol.create_source(i).initialize(EPOCH, 10 + i) for i in range(4)]
+        final = aggregator.finalize_for_querier(aggregator.merge(EPOCH, psrs))
+        j = num_sketches
+        expected_overhead = 1 + 4 * j + 2 + 2 * len(final.seals)  # no extra MACs
+        assert codec.payload_overhead(final) == expected_overhead
+        assert len(framed(codec, final)) == HEADER_LEN + final.wire_size() + expected_overhead
+
+    def test_secoa_m_record(self) -> None:
+        protocol = SECOAMaxProtocol(4, seed=5)
+        codec = protocol.wire_codec()
+        psr = protocol.create_source(0).initialize(EPOCH, 123)
+        # winner id (4B) + SEAL chain position (2B).
+        assert codec.payload_overhead(psr) == 6
+        assert len(framed(codec, psr)) == HEADER_LEN + psr.wire_size() + 6
+
+
+class TestRegistryIds:
+    def test_every_builtin_has_a_stable_wire_id(self) -> None:
+        from repro.protocols.registry import registered_wire_protocols
+
+        assert registered_wire_protocols() == {
+            "sies": 1,
+            "cmt": 2,
+            "secoa_s": 3,
+            "secoa_m": 4,
+            "commit_attest": 5,
+        }

@@ -1,0 +1,72 @@
+"""TCP cluster throughput: epochs/sec and frames/sec over real sockets.
+
+The cluster trades the logical runtime's zero-cost links for real
+kernel round trips, so the perf record tracks two quantities:
+
+* **epochs/sec** — end-to-end pipeline throughput.  The window sweep
+  shows what epoch pipelining buys: with ``window=1`` each epoch pays
+  its full hold-and-wait ladder alone; with ``window=8`` eight ladders
+  overlap and throughput approaches ``window / ladder``.
+* **frames/sec** — socket-layer throughput (data envelopes + ACKs),
+  the cost side of the ARQ under seeded loss.
+
+Run with::
+
+    PYTHONPATH=src pytest benchmarks/test_cluster_throughput.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterConfig, run_cluster
+from repro.core.protocol import SIESProtocol
+from repro.datasets.workload import DomainScaledWorkload
+from repro.network.topology import build_complete_tree
+from repro.runtime import FaultPlan
+
+N = 64
+EPOCHS = 25
+SEED = 2011
+#: Short rungs keep the benchmark honest about *throughput* rather than
+#: the configured hold ladder; 0.15 s still clears the ARQ's ≈0.10 s
+#: worst delivered wait.
+HOLD = dict(hold_time=0.15, querier_slack=0.15)
+
+
+def _run(window: int, loss: float):
+    config = ClusterConfig(
+        num_epochs=EPOCHS,
+        window=window,
+        seed=SEED,
+        plan=FaultPlan.lossless() if loss == 0.0 else FaultPlan.uniform_loss(loss),
+        **HOLD,
+    )
+    return run_cluster(
+        SIESProtocol(N, seed=SEED),
+        build_complete_tree(N, 4),
+        DomainScaledWorkload(N, scale=100, seed=SEED),
+        config,
+    )
+
+
+@pytest.mark.benchmark(group="cluster-throughput")
+@pytest.mark.parametrize("window", [1, 8])
+def test_cluster_throughput_lossless(benchmark, window: int) -> None:
+    metrics = benchmark.pedantic(lambda: _run(window, 0.0), rounds=2, iterations=1)
+    assert metrics.acceptance_rate() == 1.0
+    benchmark.extra_info["window"] = window
+    benchmark.extra_info["epochs_per_second"] = metrics.epochs_per_second()
+    benchmark.extra_info["frames_per_second"] = metrics.frames_per_second()
+
+
+@pytest.mark.benchmark(group="cluster-throughput-lossy")
+@pytest.mark.parametrize("window", [1, 8])
+def test_cluster_throughput_20_percent_loss(benchmark, window: int) -> None:
+    metrics = benchmark.pedantic(lambda: _run(window, 0.2), rounds=2, iterations=1)
+    assert metrics.num_epochs == EPOCHS
+    benchmark.extra_info["window"] = window
+    benchmark.extra_info["epochs_per_second"] = metrics.epochs_per_second()
+    benchmark.extra_info["frames_per_second"] = metrics.frames_per_second()
+    benchmark.extra_info["retransmissions"] = metrics.traffic.total("retransmissions")
+    benchmark.extra_info["delivery_rate"] = metrics.delivery_rate()

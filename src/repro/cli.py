@@ -11,8 +11,13 @@ Commands
 ``query``      execute a continuous aggregate query (the paper's
                SELECT template) and print per-epoch answers;
 ``attack``     mount a named adversary and report detection outcomes;
+``cluster``    run the aggregation tree as an asyncio TCP cluster — every
+               node on a real localhost socket — with seeded stream-layer
+               loss and pipelined epochs;
 ``experiment`` regenerate a paper table/figure by name;
 ``bounds``     print the Theorem 1–4 security bounds for a parameter set;
+``info``       print the build's protocol registry: names, frame-header
+               wire ids and the wire-format version;
 ``lint``       run sieslint, the AST-based invariant checker (SL001–SL005),
                over source trees; non-zero exit on non-baselined findings.
 
@@ -20,6 +25,7 @@ Examples::
 
     python -m repro.cli run --protocol sies --sources 64 --epochs 5
     python -m repro.cli runtime --sources 64 --epochs 20 --loss 0.2
+    python -m repro.cli cluster --sources 64 --epochs 100 --loss 0.2 --window 8
     python -m repro.cli query --aggregate AVG --where "temperature>=20" --sources 32
     python -m repro.cli attack --attack replay --protocol sies
     python -m repro.cli experiment fig5
@@ -80,6 +86,29 @@ def build_parser() -> argparse.ArgumentParser:
     runtime_p.add_argument("--json", action="store_true",
                            help="print the full deterministic metrics ledger as JSON")
 
+    cluster_p = sub.add_parser("cluster", help="aggregation tree over real TCP sockets")
+    cluster_p.add_argument("--protocol", default="sies", choices=sorted(available_protocols()))
+    cluster_p.add_argument("--sources", type=int, default=64)
+    cluster_p.add_argument("--fanout", type=int, default=4)
+    cluster_p.add_argument("--epochs", type=int, default=20)
+    cluster_p.add_argument("--loss", type=float, default=0.2,
+                           help="per-hop envelope loss probability (default 0.2)")
+    cluster_p.add_argument("--duplicate", type=float, default=0.0,
+                           help="per-hop duplication probability")
+    cluster_p.add_argument("--window", type=int, default=8,
+                           help="epochs pipelined concurrently (default 8)")
+    cluster_p.add_argument("--hold-time", type=float, default=0.25,
+                           help="merge-deadline spacing per tree level, seconds")
+    cluster_p.add_argument("--querier-slack", type=float, default=0.25,
+                           help="extra querier wait beyond the root deadline, seconds")
+    cluster_p.add_argument("--ack-timeout", type=float, default=0.01,
+                           help="first ARQ retransmit timeout, seconds")
+    cluster_p.add_argument("--max-retries", type=int, default=4)
+    cluster_p.add_argument("--scale", type=int, default=100)
+    cluster_p.add_argument("--seed", type=int, default=2011)
+    cluster_p.add_argument("--json", action="store_true",
+                           help="print the full run ledger as JSON")
+
     query_p = sub.add_parser("query", help="run a continuous aggregate query")
     query_p.add_argument("--aggregate", default="SUM",
                          choices=[k.value for k in AggregateKind])
@@ -105,6 +134,9 @@ def build_parser() -> argparse.ArgumentParser:
     bounds_p.add_argument("--sources", type=int, default=1024)
     bounds_p.add_argument("--value-bytes", type=int, default=4, choices=(4, 8))
     bounds_p.add_argument("--share-bytes", type=int, default=20)
+
+    info_p = sub.add_parser("info", help="protocol registry and wire-format versions")
+    info_p.add_argument("--json", action="store_true", help="machine-readable output")
 
     lint_p = sub.add_parser("lint", help="sieslint: AST-based invariant checker")
     lint_p.add_argument("paths", nargs="*", default=["src"],
@@ -227,6 +259,98 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster import ClusterConfig, run_cluster
+    from repro.runtime import FaultPlan, LinkProfile, RetransmitPolicy
+
+    kwargs = {"seed": args.seed}
+    if args.protocol == "secoa_s":
+        kwargs["num_sketches"] = 50
+    protocol = create_protocol(args.protocol, args.sources, **kwargs)
+    workload = DomainScaledWorkload(args.sources, scale=args.scale, seed=args.seed)
+    config = ClusterConfig(
+        num_epochs=args.epochs,
+        window=args.window,
+        hold_time=args.hold_time,
+        querier_slack=args.querier_slack,
+        policy=RetransmitPolicy(
+            max_retries=args.max_retries, ack_timeout=args.ack_timeout,
+            backoff=1.5, jitter=0.25,
+        ),
+        plan=FaultPlan(
+            default_profile=LinkProfile(loss_rate=args.loss, duplicate_rate=args.duplicate)
+        ),
+        seed=args.seed,
+    )
+    metrics = run_cluster(
+        protocol, build_complete_tree(args.sources, args.fanout), workload, config
+    )
+    if args.json:
+        print(json.dumps(metrics.ledger(), indent=2))
+        return 0
+
+    for em in metrics.epochs:
+        if em.security_failure:
+            print(f"epoch {em.epoch}: LOST ({em.security_failure})")
+            continue
+        if em.result is None:
+            raise SimulationError(f"epoch {em.epoch} finished with neither result nor failure")
+        tag = "verified" if em.result.verified else "UNVERIFIED"
+        if em.recovery.complete:
+            detail = "all sources"
+        else:
+            detail = f"recovered {len(em.recovery.survivors)}/{args.sources}"
+        print(
+            f"epoch {em.epoch}: result {em.result.value} ({tag}, {detail}, "
+            f"{em.completion_latency * 1e3:.1f} ms)"
+        )
+    print(f"\ndelivery rate    : {metrics.delivery_rate():8.4f}")
+    print(f"acceptance rate  : {metrics.acceptance_rate():8.4f}")
+    print(f"retransmissions  : {metrics.traffic.total('retransmissions'):8d}")
+    print(f"injected drops   : {metrics.traffic.total('drops_injected'):8d}")
+    print(f"epochs per second: {metrics.epochs_per_second():8.1f}")
+    print(f"frames per second: {metrics.frames_per_second():8.0f}")
+    for edge in EdgeClass:
+        counters = metrics.traffic.edge(edge)
+        print(
+            f"  {edge.value}: {counters.frames_sent:6d} frames, "
+            f"{counters.envelope_bytes:8d} envelope B, {counters.psr_bytes:8d} PSR B"
+        )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.protocols.registry import registered_wire_protocols
+    from repro.wire.frame import HEADER_LEN, WIRE_VERSION
+
+    facades = sorted(available_protocols())
+    wire_ids = registered_wire_protocols()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "wire_version": WIRE_VERSION,
+                    "header_len": HEADER_LEN,
+                    "protocols": facades,
+                    "wire_ids": wire_ids,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(f"wire format      : version {WIRE_VERSION}, {HEADER_LEN}-byte header")
+    print(f"protocol facades : {', '.join(facades)}")
+    print("wire ids         :")
+    for name, wire_id in sorted(wire_ids.items(), key=lambda item: item[1]):
+        facade = "facade" if name in facades else "codec only"
+        print(f"  {wire_id:3d}  {name}  ({facade})")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     predicate = parse_predicate(args.where) if args.where else AlwaysTrue()
     query = Query(AggregateKind(args.aggregate), "temperature", predicate)
@@ -332,6 +456,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "runtime": _cmd_runtime,
+    "cluster": _cmd_cluster,
+    "info": _cmd_info,
     "query": _cmd_query,
     "attack": _cmd_attack,
     "experiment": _cmd_experiment,

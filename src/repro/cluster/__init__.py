@@ -1,0 +1,58 @@
+"""The aggregation tree over real sockets: an asyncio TCP cluster.
+
+Runs the same Initialization → Merging → Evaluation process as the
+logical-clock runtimes, but with every tree node bound to a real TCP
+server on localhost and every PSR crossing a real socket inside a
+:mod:`repro.cluster.envelope` frame.  Loss is injected deterministically
+at the stream layer (:mod:`repro.cluster.faults`), recovery is the
+paper's reported-failure subset, and the traffic ledger proves zero
+silent drops.  See ``docs/cluster.md``.
+"""
+
+from repro.cluster.envelope import (
+    CLUSTER_ACK_WIRE_ID,
+    CLUSTER_DATA_WIRE_ID,
+    AckEnvelope,
+    DataEnvelope,
+    decode_envelope,
+    encode_ack,
+    encode_data,
+)
+from repro.cluster.faults import StreamFaultInjector, StreamVerdict, parcel_fate
+from repro.cluster.framing import DEFAULT_MAX_PAYLOAD, FrameAssembler, FrameReader, FrameWriter
+from repro.cluster.metrics import (
+    ClusterEpochResult,
+    ClusterRunMetrics,
+    ClusterTrafficLedger,
+    EdgeCounters,
+)
+from repro.cluster.node import AggregatorNode, ClusterNode, QuerierNode, SourceNode
+from repro.cluster.orchestrator import ClusterConfig, EpochOrchestrator, run_cluster
+
+__all__ = [
+    "CLUSTER_ACK_WIRE_ID",
+    "CLUSTER_DATA_WIRE_ID",
+    "AckEnvelope",
+    "DataEnvelope",
+    "decode_envelope",
+    "encode_ack",
+    "encode_data",
+    "StreamFaultInjector",
+    "StreamVerdict",
+    "parcel_fate",
+    "DEFAULT_MAX_PAYLOAD",
+    "FrameAssembler",
+    "FrameReader",
+    "FrameWriter",
+    "ClusterEpochResult",
+    "ClusterRunMetrics",
+    "ClusterTrafficLedger",
+    "EdgeCounters",
+    "AggregatorNode",
+    "ClusterNode",
+    "QuerierNode",
+    "SourceNode",
+    "ClusterConfig",
+    "EpochOrchestrator",
+    "run_cluster",
+]

@@ -1,0 +1,132 @@
+"""Seeded loss injection at the cluster's stream layer.
+
+TCP never loses bytes, so the cluster injects loss *before* the socket:
+when the fault schedule says an attempt is lost, the sender simply does
+not write the envelope (and counts the drop) — from the receiver's point
+of view this is indistinguishable from a radio swallowing the packet,
+which is exactly the PR 3 fault semantics transplanted to real sockets.
+
+Determinism under real concurrency
+----------------------------------
+
+:class:`repro.runtime.faults.FaultInjector` draws from one sequential
+stream per edge, which is deterministic under the logical-time scheduler
+but would make outcomes depend on OS timing here (pipelined epochs
+interleave their attempts on shared edges nondeterministically).  The
+cluster therefore keys every decision by the full attempt coordinate::
+
+    (sender, receiver, parcel uid, attempt index)
+
+via independent :class:`~repro.utils.rng.DeterministicRandom` streams.
+A verdict is a pure function of the seed and that coordinate — *no
+matter when or in what order the attempts happen* — so the set of
+parcels that ultimately deliver (and hence every epoch's survivor set
+and exact SUM) is reproducible run to run and computable in advance by
+:func:`parcel_fate`, the oracle the differential tests replay.
+
+Reused from the PR 3 plan: per-edge-class :class:`LinkProfile` loss and
+duplication rates.  Latency/jitter are *not* simulated — real sockets
+provide real latency — and time-windowed features (bursts, outages) are
+rejected because the cluster has no logical clock to window them on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.network.channel import EdgeClass
+from repro.runtime.faults import FaultPlan
+from repro.runtime.transport import RetransmitPolicy
+from repro.utils.rng import DeterministicRandom
+
+__all__ = ["StreamVerdict", "StreamFaultInjector", "parcel_fate"]
+
+
+@dataclass(frozen=True)
+class StreamVerdict:
+    """What the injected fault model does to one envelope write."""
+
+    lost: bool
+    #: Copies actually written to the stream (0 lost, 1 normal, 2 duplicated).
+    copies: int
+
+
+class StreamFaultInjector:
+    """Deterministic, order-independent fault oracle for stream sends."""
+
+    def __init__(self, plan: FaultPlan, *, seed: int = 0) -> None:
+        if plan.bursts:
+            raise ConfigurationError(
+                "BurstLoss windows are defined over logical time and are not "
+                "supported by the TCP cluster; use per-edge LinkProfile loss"
+            )
+        if plan.outages:
+            raise ConfigurationError(
+                "NodeOutage windows are defined over logical time and are not "
+                "supported by the TCP cluster; model churn via failed_sources"
+            )
+        self.plan = plan
+        self.seed = seed
+        #: Verdicts issued per edge class (diagnostics).
+        self.verdicts_by_class: dict[EdgeClass, int] = {}
+
+    def _draw(self, kind: str, sender: int, receiver: int, uid: int, attempt: int, n: int) -> list[float]:
+        rng = DeterministicRandom(
+            self.seed, "cluster", kind, f"{sender}->{receiver}", f"uid:{uid}", f"try:{attempt}"
+        )
+        return [rng.random() for _ in range(n)]
+
+    def data_verdict(
+        self, sender: int, receiver: int, edge: EdgeClass, uid: int, attempt: int
+    ) -> StreamVerdict:
+        """Fate of data-envelope attempt *attempt* of parcel *uid*."""
+        self.verdicts_by_class[edge] = self.verdicts_by_class.get(edge, 0) + 1
+        profile = self.plan.profile_for(edge)
+        u_loss, u_dup = self._draw("data", sender, receiver, uid, attempt, 2)
+        if u_loss < profile.loss_rate:
+            return StreamVerdict(lost=True, copies=0)
+        copies = 2 if u_dup < profile.duplicate_rate else 1
+        return StreamVerdict(lost=False, copies=copies)
+
+    def ack_verdict(
+        self, sender: int, receiver: int, edge: EdgeClass, uid: int, attempt: int
+    ) -> bool:
+        """True when the ACK for (*uid*, *attempt*) is lost on the way back.
+
+        *sender*/*receiver* name the **data** direction (the ACK travels
+        receiver→sender); keyed independently of the data draw so a lost
+        packet and a lost ACK are uncorrelated, as on a real radio.
+        """
+        profile = self.plan.profile_for(edge)
+        (u_loss,) = self._draw("ack", sender, receiver, uid, attempt, 1)
+        return u_loss < profile.loss_rate
+
+
+def parcel_fate(
+    injector: StreamFaultInjector,
+    policy: RetransmitPolicy,
+    sender: int,
+    receiver: int,
+    edge: EdgeClass,
+    uid: int,
+) -> tuple[bool, int]:
+    """Replay one parcel's ARQ against the keyed schedule.
+
+    Returns ``(delivered, attempts)`` where *attempts* is the number of
+    attempts a sender makes when every ACK round-trip beats its timeout.
+    Under slow ACKs a real sender may fire **more** attempts than this
+    before the first ACK lands — but extra attempts can only deliver
+    extra (suppressed) copies, so ``delivered`` is timing-independent:
+    it is exactly what the cluster produces on the same seed and plan.
+    The differential tests walk the tree bottom-up with this function to
+    predict every epoch's survivor set in advance.
+    """
+    delivered = False
+    for attempt in range(policy.max_attempts):
+        verdict = injector.data_verdict(sender, receiver, edge, uid, attempt)
+        if not verdict.lost:
+            delivered = True
+            if not injector.ack_verdict(sender, receiver, edge, uid, attempt):
+                return True, attempt + 1
+    return delivered, policy.max_attempts

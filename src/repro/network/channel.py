@@ -148,6 +148,19 @@ class Channel:
         self._interceptors: list[Interceptor] = []
         self._frame_interceptors: list[FrameInterceptor] = []
 
+    def begin_run(self) -> TrafficCounters:
+        """Install a fresh counter set for a new measured run.
+
+        Simulator entry points call this so every run's ledger —
+        including the measured ``frame_bytes_by_class`` — starts from
+        zero instead of silently accumulating traffic from earlier runs
+        on the same simulator.  The previous counters object is left
+        untouched (a caller holding it keeps a consistent snapshot);
+        reads through ``channel.counters`` see the new run.
+        """
+        self.counters = TrafficCounters()
+        return self.counters
+
     # -- interceptor management -----------------------------------------
 
     def add_interceptor(self, interceptor: Interceptor) -> None:

@@ -131,10 +131,11 @@ class NetworkSimulator:
         """Execute the configured number of epochs and return the metrics."""
         epochs = num_epochs if num_epochs is not None else self.config.num_epochs
         check_positive_int("num_epochs", epochs)
+        self.channel.begin_run()
         metrics = RunMetrics(protocol=self.protocol.name, num_sources=self.tree.num_sources)
         for offset in range(epochs):
             epoch = self.config.start_epoch + offset
-            metrics.epochs.append(self.run_epoch(epoch))
+            metrics.epochs.append(self._execute_epoch(epoch))
         metrics.traffic = self.channel.counters
         metrics.source_ops = self.source_ops
         metrics.aggregator_ops = self.aggregator_ops
@@ -185,6 +186,7 @@ class NetworkSimulator:
         check_positive_int("window", window)
         if max_workers is not None:
             check_positive_int("max_workers", max_workers)
+        self.channel.begin_run()
 
         querier: QuerierRole = self._querier
         cache = None
@@ -349,7 +351,18 @@ class NetworkSimulator:
         return [ems[epoch] for epoch in wepochs]
 
     def run_epoch(self, epoch: int) -> EpochMetrics:
-        """Execute one full epoch and return its metrics."""
+        """Execute one epoch as its own measured run (fresh traffic counters).
+
+        Multi-epoch entry points (:meth:`run`, :meth:`run_batched`)
+        accumulate one ledger across their epochs; a bare ``run_epoch``
+        is a run of its own and must not inherit frame bytes from
+        whatever ran on this simulator before.
+        """
+        self.channel.begin_run()
+        return self._execute_epoch(epoch)
+
+    def _execute_epoch(self, epoch: int) -> EpochMetrics:
+        """One epoch's work, accounted into the channel's current counters."""
         em = EpochMetrics(epoch=epoch)
         reporting = self._reporting_sources(epoch)
         all_reported = len(reporting) == self.tree.num_sources

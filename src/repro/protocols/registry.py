@@ -94,6 +94,7 @@ def _ensure_builtins_loaded() -> None:
     # the codec module registers the frame-header protocol ids.
     import repro.baselines.cmt  # noqa: F401
     import repro.baselines.secoa.secoa_sum  # noqa: F401
+    import repro.cluster.envelope  # noqa: F401
     import repro.core.protocol  # noqa: F401
     import repro.wire.codecs  # noqa: F401
 

@@ -22,10 +22,33 @@ converged-or-not verdict the property tests assert on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
 
-__all__ = ["EpochRecovery", "RecoveryLedger"]
+if TYPE_CHECKING:
+    from repro.network.topology import AggregationTree
+
+__all__ = ["EpochRecovery", "RecoveryLedger", "expected_contributions"]
+
+
+def expected_contributions(tree: "AggregationTree", attempted: frozenset[int]) -> dict[int, int]:
+    """Per-aggregator count of child contributions that could arrive.
+
+    A child source counts iff it attempted to report; a child aggregator
+    counts iff any attempted source sits in its subtree.  Both runtimes
+    (:class:`~repro.runtime.simulator.RuntimeSimulator` and the TCP
+    cluster) use this for the early-merge fast path: an aggregator
+    merges the moment everything that *can* arrive has arrived, so
+    deadlines only matter when the network actually loses something.
+    """
+    expected: dict[int, int] = {}
+    live_subtree: dict[int, bool] = {sid: sid in attempted for sid in tree.source_ids}
+    for aid in tree.bottom_up_aggregators():
+        count = sum(1 for child in tree.children(aid) if live_subtree[child])
+        expected[aid] = count
+        live_subtree[aid] = count > 0
+    return expected
 
 
 @dataclass(frozen=True)
@@ -48,6 +71,30 @@ class EpochRecovery:
                 f"epoch {self.epoch}: survivors {sorted(self.survivors - self.attempted)} "
                 "never attempted to report — manifest corruption"
             )
+
+    @classmethod
+    def from_final_manifest(
+        cls,
+        epoch: int,
+        *,
+        attempted: frozenset[int],
+        manifest: frozenset[int],
+        pre_failed: frozenset[int],
+    ) -> "EpochRecovery":
+        """Recovery verdict for an epoch whose final PSR arrived.
+
+        The *manifest* carried by that PSR **is** the reporting subset
+        ``R`` — what was actually merged, not what senders believe was
+        delivered — shared by both runtimes so their verdicts can be
+        compared verbatim in the differential tests.
+        """
+        return cls(
+            epoch=epoch,
+            attempted=attempted,
+            survivors=manifest,
+            pre_failed=pre_failed,
+            converged=True,
+        )
 
     @property
     def lost(self) -> frozenset[int]:

@@ -43,7 +43,7 @@ from repro.protocols.base import (
 from repro.runtime.events import EventScheduler
 from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.metrics import RuntimeEpochMetrics, RuntimeRunMetrics
-from repro.runtime.recovery import EpochRecovery
+from repro.runtime.recovery import EpochRecovery, expected_contributions
 from repro.runtime.transport import ReliableTransport, RetransmitPolicy, TransportStats
 from repro.utils.validation import check_positive_int
 
@@ -183,22 +183,8 @@ class RuntimeSimulator:
         return heights
 
     def _expected_contributions(self, attempted: frozenset[int]) -> dict[int, int]:
-        """Per-aggregator count of children that could deliver this epoch.
-
-        A child source counts iff it attempted; a child aggregator
-        counts iff any attempted source sits in its subtree.  Used for
-        the early-merge fast path (merge as soon as everything that can
-        arrive has arrived) — deadlines only matter under faults.
-        """
-        expected: dict[int, int] = {}
-        live_subtree: dict[int, bool] = {
-            sid: sid in attempted for sid in self.tree.source_ids
-        }
-        for aid in self._merge_schedule:
-            count = sum(1 for child in self.tree.children(aid) if live_subtree[child])
-            expected[aid] = count
-            live_subtree[aid] = count > 0
-        return expected
+        """Per-aggregator early-merge counts (shared with the TCP cluster)."""
+        return expected_contributions(self.tree, attempted)
 
     # ------------------------------------------------------------------
     # Execution
@@ -357,12 +343,11 @@ class RuntimeSimulator:
             state.late_arrivals += 1
             return
         state.finalized = True
-        recovery = EpochRecovery(
-            epoch=state.epoch,
+        recovery = EpochRecovery.from_final_manifest(
+            state.epoch,
             attempted=state.attempted,
-            survivors=manifest,
+            manifest=manifest,
             pre_failed=state.pre_failed,
-            converged=True,
         )
         em = RuntimeEpochMetrics(
             epoch=state.epoch,

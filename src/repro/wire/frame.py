@@ -74,6 +74,11 @@ class FrameHeader:
     epoch: int
     payload_len: int
 
+    @property
+    def total_len(self) -> int:
+        """Complete frame length this header announces (header + payload)."""
+        return HEADER_LEN + self.payload_len
+
 
 def encode_frame(protocol_id: int, epoch: int, payload: bytes) -> bytes:
     """Assemble a frame from its parts (the codec layer's exit point)."""

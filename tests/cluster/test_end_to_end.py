@@ -1,0 +1,272 @@
+"""The cluster end-to-end: real sockets, exact SUMs, oracle-differential.
+
+Three layers of assurance:
+
+1. **Lossless differential** — over perfect links the TCP cluster must
+   reproduce exactly what the in-process runtime (and ground truth)
+   computes, epoch for epoch.
+2. **Lossy oracle differential** — under seeded loss, every epoch's
+   survivor set must equal the :func:`repro.cluster.faults.parcel_fate`
+   walk of the tree, and the accepted value must be the exact SUM over
+   those survivors (the paper's reported-failure-subset recovery).
+3. **Acceptance run** (``slow``) — the ISSUE's headline scenario: a
+   64-source SIES tree over localhost TCP with 20% seeded loss
+   completing 100 pipelined epochs with zero silent drops and byte-exact
+   wire accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cluster.faults import StreamFaultInjector, parcel_fate
+from repro.cluster.orchestrator import ClusterConfig, EpochOrchestrator, run_cluster
+from repro.core.protocol import SIESProtocol
+from repro.datasets.workload import DomainScaledWorkload
+from repro.errors import ConfigurationError, SimulationError
+from repro.network.channel import EdgeClass
+from repro.network.simulator import QUERIER_NODE_ID
+from repro.network.topology import build_complete_tree
+from repro.runtime import FaultPlan, RuntimeConfig, RuntimeSimulator
+from repro.runtime.faults import BurstLoss
+from repro.runtime.transport import RetransmitPolicy
+from repro.wire.frame import HEADER_LEN
+
+pytestmark = pytest.mark.cluster
+
+#: Hold/slack used by the lossy tests: the ARQ's worst *delivered* wait
+#: is ≈0.10 s (see orchestrator defaults), so a 0.5 s rung leaves real
+#: margin for event-loop lag — late frames would (legitimately) shrink
+#: survivor sets below the oracle's prediction.
+SAFE = dict(hold_time=0.5, querier_slack=0.5)
+
+
+def oracle_survivors(
+    tree, plan: FaultPlan, policy: RetransmitPolicy, seed: int, epoch: int
+) -> frozenset[int]:
+    """Replay the keyed fault schedule bottom-up: a source survives iff
+    every hop on its path to the querier delivers its epoch parcel."""
+    injector = StreamFaultInjector(plan, seed=seed)
+
+    def hop_delivers(nid: int) -> bool:
+        parent = tree.parent(nid)
+        if parent is None:
+            receiver, edge = QUERIER_NODE_ID, EdgeClass.AGGREGATOR_TO_QUERIER
+        elif tree.node(nid).is_source:
+            receiver, edge = parent, EdgeClass.SOURCE_TO_AGGREGATOR
+        else:
+            receiver, edge = parent, EdgeClass.AGGREGATOR_TO_AGGREGATOR
+        return parcel_fate(injector, policy, nid, receiver, edge, epoch)[0]
+
+    survivors = set()
+    for sid in tree.source_ids:
+        ok = hop_delivers(sid)
+        node = tree.parent(sid)
+        while ok and node is not None:
+            ok = hop_delivers(node)
+            node = tree.parent(node)
+        if ok:
+            survivors.add(sid)
+    return frozenset(survivors)
+
+
+def test_lossless_cluster_matches_runtime_and_ground_truth() -> None:
+    n, epochs, seed = 8, 5, 2011
+    workload = DomainScaledWorkload(n, scale=100, seed=seed)
+    config = ClusterConfig(num_epochs=epochs, window=4, seed=seed, plan=FaultPlan.lossless())
+    metrics = run_cluster(
+        SIESProtocol(n, seed=seed), build_complete_tree(n, 2), workload, config
+    )
+    runtime = RuntimeSimulator(
+        SIESProtocol(n, seed=seed),
+        build_complete_tree(n, 2),
+        workload,
+        RuntimeConfig(num_epochs=epochs, plan=FaultPlan.lossless(), seed=seed),
+    ).run()
+    assert metrics.num_epochs == epochs
+    for cluster_epoch, runtime_epoch in zip(metrics.epochs, runtime.epochs):
+        assert cluster_epoch.accepted
+        assert cluster_epoch.result is not None and cluster_epoch.result.verified
+        truth = sum(workload(sid, cluster_epoch.epoch) for sid in range(n))
+        assert cluster_epoch.result.value == truth
+        assert runtime_epoch.result is not None
+        assert cluster_epoch.result.value == runtime_epoch.result.value
+        assert cluster_epoch.recovery.survivors == frozenset(range(n))
+    assert metrics.delivery_rate() == 1.0 and metrics.acceptance_rate() == 1.0
+    assert metrics.traffic.total("retransmissions") == 0
+    assert metrics.traffic.total("drops_injected") == 0
+
+
+def test_lossy_epochs_match_the_tree_walk_oracle() -> None:
+    n, epochs, seed = 16, 10, 2011
+    plan = FaultPlan.uniform_loss(0.25)
+    tree = build_complete_tree(n, 4)
+    workload = DomainScaledWorkload(n, scale=100, seed=seed)
+    config = ClusterConfig(num_epochs=epochs, window=4, seed=seed, plan=plan, **SAFE)
+    metrics = run_cluster(SIESProtocol(n, seed=seed), tree, workload, config)
+    assert metrics.num_epochs == epochs
+    lossy_epochs = 0
+    for em in metrics.epochs:
+        expected = oracle_survivors(tree, plan, config.policy, seed, em.epoch)
+        assert em.recovery.survivors == expected, f"epoch {em.epoch} diverged from oracle"
+        if expected:
+            assert em.accepted and em.result is not None and em.result.verified
+            assert em.result.value == sum(workload(sid, em.epoch) for sid in expected)
+        else:
+            assert em.security_failure == "MessageLost" and em.result is None
+        lossy_epochs += len(expected) < n
+    assert lossy_epochs > 0, "25% loss produced no lossy epoch — test is vacuous"
+    assert metrics.traffic.total("drops_injected") > 0
+    metrics.traffic.check_conservation()
+
+
+def test_deterministic_ledger_is_window_and_rerun_invariant() -> None:
+    """Same seed and plan → identical survivor sets and SUMs, whether the
+    epochs pipeline one-at-a-time or all concurrently (and across reruns)."""
+    n, seed = 8, 5
+
+    def ledger(window: int) -> dict:
+        config = ClusterConfig(
+            num_epochs=3, window=window, seed=seed,
+            plan=FaultPlan.uniform_loss(0.3), **SAFE,
+        )
+        metrics = run_cluster(
+            SIESProtocol(n, seed=seed),
+            build_complete_tree(n, 4),
+            DomainScaledWorkload(n, scale=100, seed=seed),
+            config,
+        )
+        return metrics.deterministic_ledger()
+
+    sequential = ledger(window=1)
+    pipelined = ledger(window=3)
+    assert sequential == pipelined
+
+
+def test_pre_failed_sources_are_excluded_and_reported() -> None:
+    n, seed = 8, 7
+    failed = frozenset({0, 3})
+    workload = DomainScaledWorkload(n, scale=100, seed=seed)
+    config = ClusterConfig(
+        num_epochs=2, window=2, seed=seed, plan=FaultPlan.lossless(),
+        failed_sources=failed,
+    )
+    metrics = run_cluster(
+        SIESProtocol(n, seed=seed), build_complete_tree(n, 2), workload, config
+    )
+    for em in metrics.epochs:
+        assert em.recovery.pre_failed == failed
+        assert em.recovery.survivors == frozenset(range(n)) - failed
+        assert em.accepted and em.result is not None
+        assert em.result.value == sum(
+            workload(sid, em.epoch) for sid in range(n) if sid not in failed
+        )
+
+
+class TestConfigurationRejections:
+    def test_tree_protocol_size_mismatch(self) -> None:
+        with pytest.raises(SimulationError):
+            EpochOrchestrator(
+                SIESProtocol(8, seed=1),
+                build_complete_tree(16, 4),
+                DomainScaledWorkload(16, scale=100, seed=1),
+            )
+
+    def test_protocol_without_codec_rejected(self) -> None:
+        class NoWireProtocol:
+            name = "no-wire"
+            num_sources = 4
+
+            def wire_codec(self):
+                return None
+
+        with pytest.raises(ConfigurationError):
+            EpochOrchestrator(
+                NoWireProtocol(),  # type: ignore[arg-type]
+                build_complete_tree(4, 2),
+                DomainScaledWorkload(4, scale=100, seed=1),
+            )
+
+    def test_time_windowed_plan_rejected(self) -> None:
+        config = ClusterConfig(plan=FaultPlan(bursts=(BurstLoss(start=0.0, end=1.0),)))
+        with pytest.raises(ConfigurationError):
+            EpochOrchestrator(
+                SIESProtocol(4, seed=1),
+                build_complete_tree(4, 2),
+                DomainScaledWorkload(4, scale=100, seed=1),
+                config,
+            )
+
+    def test_invalid_knobs_rejected(self) -> None:
+        with pytest.raises(Exception):
+            ClusterConfig(num_epochs=0)
+        with pytest.raises(Exception):
+            ClusterConfig(window=0)
+        with pytest.raises(SimulationError):
+            ClusterConfig(hold_time=0.0)
+        with pytest.raises(SimulationError):
+            ClusterConfig(querier_slack=-1.0)
+
+    def test_run_is_one_shot(self) -> None:
+        orchestrator = EpochOrchestrator(
+            SIESProtocol(2, seed=1),
+            build_complete_tree(2, 2),
+            DomainScaledWorkload(2, scale=100, seed=1),
+            ClusterConfig(num_epochs=1, window=1, plan=FaultPlan.lossless()),
+        )
+        asyncio.run(orchestrator.run())
+        with pytest.raises(SimulationError):
+            asyncio.run(orchestrator.run())
+
+
+@pytest.mark.slow
+def test_acceptance_64_sources_100_epochs_20_percent_loss() -> None:
+    """The ISSUE's acceptance scenario, asserted end to end."""
+    n, epochs, seed, loss = 64, 100, 2011, 0.2
+    plan = FaultPlan.uniform_loss(loss)
+    tree = build_complete_tree(n, 4)
+    protocol = SIESProtocol(n, seed=seed)
+    workload = DomainScaledWorkload(n, scale=100, seed=seed)
+    config = ClusterConfig(num_epochs=epochs, window=8, seed=seed, plan=plan, **SAFE)
+    orchestrator = EpochOrchestrator(protocol, tree, workload, config)
+    metrics = asyncio.run(orchestrator.run())
+
+    # Every pipelined epoch settled, every accepted value is the exact
+    # SUM over that epoch's survivors, and the survivors are exactly the
+    # keyed fault schedule's prediction.
+    assert metrics.num_epochs == epochs
+    for em in metrics.epochs:
+        expected = oracle_survivors(tree, plan, config.policy, seed, em.epoch)
+        assert em.recovery.survivors == expected
+        assert em.accepted, f"epoch {em.epoch}: {em.security_failure}"
+        assert em.result is not None and em.result.verified
+        assert em.result.value == sum(workload(sid, em.epoch) for sid in expected)
+    assert 0 < metrics.delivery_rate() < 1.0  # lossy but recovering
+    assert metrics.acceptance_rate() == 1.0
+
+    # Zero silent drops: the conservation laws and per-node error
+    # counters account for every frame ever written or swallowed.
+    metrics.traffic.check_conservation()
+    for node in orchestrator._all_nodes():
+        assert node.stream_errors == 0
+    assert metrics.traffic.total("drops_injected") > 0
+    assert metrics.traffic.total("retransmissions") > 0
+
+    # Byte-exact wire accounting: SIES PSR frames are constant-size, so
+    # each edge class's psr_bytes must equal parcels × framed_size.
+    frame_size = orchestrator.codec.framed_size(protocol.create_source(0).initialize(1, 42))
+    for edge in EdgeClass:
+        c = metrics.traffic.edge(edge)
+        parcels = c.attempts - c.retransmissions
+        assert c.psr_bytes == parcels * frame_size
+    # On S-A links the manifest is always a single id, making the whole
+    # envelope constant-size too — pin it to the byte.
+    sa = metrics.traffic.edge(EdgeClass.SOURCE_TO_AGGREGATOR)
+    envelope_len = HEADER_LEN + 17 + 4 + frame_size
+    assert sa.envelope_bytes == sa.frames_sent * envelope_len
+
+    assert metrics.wall_seconds > 0
+    assert metrics.epochs_per_second() > 1.0
+    assert metrics.frames_per_second() > 100.0

@@ -1,0 +1,137 @@
+"""Cluster envelopes: byte layout, typed failures, id registration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.envelope import (
+    CLUSTER_ACK_WIRE_ID,
+    CLUSTER_DATA_WIRE_ID,
+    MAX_MANIFEST,
+    AckEnvelope,
+    DataEnvelope,
+    decode_envelope,
+    encode_ack,
+    encode_data,
+)
+from repro.errors import (
+    FrameProtocolIdError,
+    PayloadFormatError,
+    WireEncodeError,
+)
+from repro.protocols.registry import registered_wire_protocols
+from repro.wire.frame import HEADER_LEN, decode_header, encode_frame
+
+EPOCH = 12
+INNER = encode_frame(1, EPOCH, b"fake protocol payload")
+
+
+class TestRoundtrip:
+    def test_data_envelope_roundtrip(self) -> None:
+        manifest = frozenset({0, 5, 7, 4_000_000_000})
+        frame = encode_data(
+            epoch=EPOCH, sender=3, uid=EPOCH, attempt=2, manifest=manifest, inner=INNER
+        )
+        assert decode_header(frame).protocol_id == CLUSTER_DATA_WIRE_ID
+        envelope = decode_envelope(frame)
+        assert isinstance(envelope, DataEnvelope)
+        assert envelope == DataEnvelope(
+            epoch=EPOCH, sender=3, uid=EPOCH, attempt=2, manifest=manifest, inner=INNER
+        )
+
+    def test_empty_manifest_and_empty_inner(self) -> None:
+        frame = encode_data(
+            epoch=0, sender=0, uid=0, attempt=0, manifest=frozenset(), inner=b""
+        )
+        envelope = decode_envelope(frame)
+        assert envelope.manifest == frozenset() and envelope.inner == b""
+
+    def test_inner_frame_travels_verbatim_even_when_corrupt(self) -> None:
+        """Transport must deliver garbage inner bytes for the receiver to
+        *count* as a decode failure — nothing is dropped silently here."""
+        garbage = b"\xff" * 29
+        frame = encode_data(
+            epoch=EPOCH, sender=1, uid=1, attempt=0, manifest=frozenset({1}), inner=garbage
+        )
+        assert decode_envelope(frame).inner == garbage
+
+    def test_retransmission_changes_one_byte_only(self) -> None:
+        """The inner PSR is byte-identical across attempts; only the
+        envelope's attempt counter moves (the frame header is equal)."""
+        kwargs = dict(epoch=EPOCH, sender=9, uid=EPOCH, manifest=frozenset({9}), inner=INNER)
+        first = encode_data(attempt=0, **kwargs)
+        retry = encode_data(attempt=1, **kwargs)
+        diff = [i for i, (a, b) in enumerate(zip(first, retry)) if a != b]
+        assert len(first) == len(retry) and len(diff) == 1
+        assert diff[0] == HEADER_LEN + 4 + 8  # sender(4) + uid(8) → attempt byte
+
+    def test_ack_envelope_roundtrip(self) -> None:
+        frame = encode_ack(epoch=EPOCH, uid=EPOCH, attempt=4)
+        assert decode_header(frame).protocol_id == CLUSTER_ACK_WIRE_ID
+        assert decode_envelope(frame) == AckEnvelope(epoch=EPOCH, uid=EPOCH, attempt=4)
+
+
+class TestEncodeRejections:
+    def test_field_overflows(self) -> None:
+        good = dict(epoch=1, sender=1, uid=1, attempt=0, manifest=frozenset(), inner=b"")
+        for bad in (
+            {**good, "sender": 1 << 32},
+            {**good, "sender": -1},
+            {**good, "uid": 1 << 64},
+            {**good, "attempt": 256},
+            {**good, "attempt": -1},
+            {**good, "manifest": frozenset({1 << 32})},
+        ):
+            with pytest.raises(WireEncodeError):
+                encode_data(**bad)
+        with pytest.raises(WireEncodeError):
+            encode_ack(epoch=1, uid=-1, attempt=0)
+        with pytest.raises(WireEncodeError):
+            encode_ack(epoch=1, uid=0, attempt=300)
+
+
+def _data_frame(payload: bytes) -> bytes:
+    return encode_frame(CLUSTER_DATA_WIRE_ID, EPOCH, payload)
+
+
+class TestDecodeRejections:
+    def test_foreign_protocol_id(self) -> None:
+        with pytest.raises(FrameProtocolIdError):
+            decode_envelope(encode_frame(1, EPOCH, b"not an envelope"))
+
+    def test_data_payload_shorter_than_fixed_part(self) -> None:
+        for size in range(17):
+            with pytest.raises(PayloadFormatError):
+                decode_envelope(_data_frame(bytes(size)))
+
+    def test_data_manifest_count_over_cap(self) -> None:
+        payload = bytes(13) + (MAX_MANIFEST + 1).to_bytes(4, "big")
+        with pytest.raises(PayloadFormatError):
+            decode_envelope(_data_frame(payload))
+
+    def test_data_manifest_count_exceeds_bytes_present(self) -> None:
+        payload = bytes(13) + (3).to_bytes(4, "big") + bytes(8)  # 3 announced, 2 present
+        with pytest.raises(PayloadFormatError):
+            decode_envelope(_data_frame(payload))
+
+    def test_data_duplicate_manifest_ids(self) -> None:
+        payload = (
+            bytes(13)
+            + (2).to_bytes(4, "big")
+            + (7).to_bytes(4, "big")
+            + (7).to_bytes(4, "big")
+        )
+        with pytest.raises(PayloadFormatError):
+            decode_envelope(_data_frame(payload))
+
+    def test_ack_payload_wrong_length(self) -> None:
+        for size in (0, 8, 10):
+            with pytest.raises(PayloadFormatError):
+                decode_envelope(encode_frame(CLUSTER_ACK_WIRE_ID, EPOCH, bytes(size)))
+
+
+class TestRegistration:
+    def test_ids_pinned_in_the_registry(self) -> None:
+        ids = registered_wire_protocols()
+        assert ids["cluster/data"] == CLUSTER_DATA_WIRE_ID == 240
+        assert ids["cluster/ack"] == CLUSTER_ACK_WIRE_ID == 241

@@ -1,0 +1,237 @@
+"""One hop over a real socket: ARQ, dedup, give-up, ACK accounting.
+
+A single source→aggregator link built from the real node classes, so
+every counter the ledger keeps can be pinned exactly against the keyed
+fault schedule.  Timing-dependent quantities (extra attempts under a
+slow ACK) are asserted as inequalities; everything the schedule
+determines — delivery, injected drops, duplicate copies — exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cluster.clock import ClusterClock
+from repro.cluster.faults import StreamFaultInjector, parcel_fate
+from repro.cluster.metrics import ClusterTrafficLedger
+from repro.cluster.node import AggregatorNode, SourceNode
+from repro.core.protocol import SIESProtocol
+from repro.errors import SimulationError
+from repro.network.channel import EdgeClass
+from repro.runtime.faults import FaultPlan, LinkProfile
+from repro.runtime.transport import RetransmitPolicy
+
+EDGE = EdgeClass.SOURCE_TO_AGGREGATOR
+#: Generous ACK timeout: the success path returns the moment the ACK
+#: lands (no cost), and only give-up paths pay the full backoff span.
+PATIENT = RetransmitPolicy(max_retries=4, ack_timeout=0.2, backoff=1.5, jitter=0.25)
+#: Tight budget for tests that must exhaust it.
+IMPATIENT = RetransmitPolicy(max_retries=4, ack_timeout=0.02, backoff=1.5, jitter=0.25)
+
+_PROTOCOL = SIESProtocol(1, seed=5)
+_CODEC = _PROTOCOL.wire_codec()
+
+
+class _Hop:
+    """A live source→aggregator link plus its accounting."""
+
+    def __init__(self, plan: FaultPlan, policy: RetransmitPolicy, seed: int) -> None:
+        self.ledger = ClusterTrafficLedger()
+        self.injector = StreamFaultInjector(plan, seed=seed)
+        common = dict(
+            ledger=self.ledger,
+            injector=self.injector,
+            policy=policy,
+            clock=ClusterClock(),
+            seed=seed,
+        )
+        self.parent = AggregatorNode(
+            1,
+            _PROTOCOL.create_aggregator(),
+            _CODEC,
+            is_root=False,
+            edge_of_sender={0: EDGE},
+            **common,
+        )
+        self.child = SourceNode(0, _PROTOCOL.create_source(0), _CODEC, **common)
+
+    async def __aenter__(self) -> "_Hop":
+        await self.parent.start()
+        assert self.parent.port is not None
+        await self.child.connect_uplink(1, self.parent.port, EDGE)
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        # The orchestrator's shutdown order: child half-closes and drains
+        # its ACKs, then the server stops — keeps ACK conservation exact.
+        await self.child.close_uplink()
+        await self.parent.stop()
+
+    def counters(self):
+        return self.ledger.edge(EDGE)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_lossless_delivery_pins_every_counter() -> None:
+    async def scenario() -> None:
+        async with _Hop(FaultPlan.lossless(), PATIENT, seed=0) as hop:
+            hop.parent.open_epoch(1, expected=1)
+            assert await hop.child.run_epoch(1, 42) is True
+        c = hop.counters()
+        assert c.attempts == 1 and c.retransmissions == 0
+        assert c.drops_injected == 0 and c.dup_copies == 0
+        assert c.frames_sent == 1 and c.frames_received == 1
+        assert c.delivered == 1 and c.duplicates_suppressed == 0
+        assert c.late_frames == 0 and c.decode_failures == 0 and c.gave_up == 0
+        assert c.acks_sent == 1 and c.acks_dropped == 0 and c.acks_received == 1
+        assert c.psr_bytes == _CODEC.framed_size(
+            _PROTOCOL.create_source(0).initialize(1, 42)
+        )
+        assert c.envelope_bytes > c.psr_bytes  # envelope wraps the PSR frame
+        hop.ledger.check_conservation()
+
+    _run(scenario())
+
+
+def test_duplicated_copy_is_suppressed_and_still_acked() -> None:
+    async def scenario() -> None:
+        plan = FaultPlan(default_profile=LinkProfile(duplicate_rate=1.0))
+        async with _Hop(plan, PATIENT, seed=0) as hop:
+            hop.parent.open_epoch(1, expected=1)
+            assert await hop.child.run_epoch(1, 42) is True
+        c = hop.counters()
+        assert c.attempts == 1
+        assert c.frames_sent == 2 and c.dup_copies == 1
+        assert c.delivered == 1 and c.duplicates_suppressed == 1
+        # The transport ACKs *every* received copy.
+        assert c.acks_sent == 2 and c.acks_received == 2
+        hop.ledger.check_conservation()
+
+    _run(scenario())
+
+
+def test_total_loss_exhausts_budget_and_gives_up() -> None:
+    async def scenario() -> None:
+        async with _Hop(FaultPlan.uniform_loss(1.0), IMPATIENT, seed=0) as hop:
+            hop.parent.open_epoch(1, expected=1)
+            assert await hop.child.run_epoch(1, 42) is False
+        c = hop.counters()
+        assert c.attempts == IMPATIENT.max_attempts
+        assert c.retransmissions == IMPATIENT.max_attempts - 1
+        assert c.drops_injected == IMPATIENT.max_attempts
+        assert c.frames_sent == 0 and c.frames_received == 0 and c.delivered == 0
+        assert c.gave_up == 1 and c.acks_sent == 0
+        # psr_bytes still counted once: the parcel existed, the link ate it.
+        assert c.psr_bytes > 0
+        hop.ledger.check_conservation()
+
+    _run(scenario())
+
+
+def test_give_up_does_not_retract_a_delivered_copy() -> None:
+    """Data through, every ACK lost: the sender gives up, but the parent
+    really holds the PSR — downstream truth comes from receiver state."""
+    plan = FaultPlan.uniform_loss(0.5)
+    seed = 23
+    probe = StreamFaultInjector(plan, seed=seed)
+    uid = None
+    for candidate in range(1, 4000):
+        delivered = acked = False
+        for attempt in range(IMPATIENT.max_attempts):
+            if not probe.data_verdict(0, 1, EDGE, candidate, attempt).lost:
+                delivered = True
+                if not probe.ack_verdict(0, 1, EDGE, candidate, attempt):
+                    acked = True
+                    break
+        if delivered and not acked:
+            uid = candidate
+            break
+    assert uid is not None, "schedule search found no delivered-but-unACKed parcel"
+
+    async def scenario() -> None:
+        async with _Hop(plan, IMPATIENT, seed=seed) as hop:
+            hop.parent.open_epoch(uid, expected=1)
+            assert await hop.child.run_epoch(uid, 42) is False  # gave up...
+        c = hop.counters()
+        assert c.delivered == 1  # ...yet the copy was delivered
+        assert c.gave_up == 1
+        assert c.acks_dropped == c.frames_received > 0
+        assert c.acks_sent == 0 and c.acks_received == 0
+        hop.ledger.check_conservation()
+
+    _run(scenario())
+
+
+def test_lossy_epochs_match_the_parcel_fate_oracle() -> None:
+    """Across many epochs at 40% loss, the delivered set (and the drop /
+    duplicate injections) are exactly the keyed schedule's prediction."""
+    plan = FaultPlan(default_profile=LinkProfile(loss_rate=0.4, duplicate_rate=0.1))
+    seed = 2011
+    epochs = range(1, 31)
+
+    async def scenario():
+        async with _Hop(plan, IMPATIENT, seed=seed) as hop:
+            outcomes = {}
+            for epoch in epochs:
+                hop.parent.open_epoch(epoch, expected=1)
+                outcomes[epoch] = await hop.child.run_epoch(epoch, epoch)
+            return hop, outcomes
+
+    hop, outcomes = _run(scenario())
+    oracle = StreamFaultInjector(plan, seed=seed)
+    fates = {
+        epoch: parcel_fate(oracle, IMPATIENT, 0, 1, EDGE, epoch) for epoch in epochs
+    }
+    c = hop.counters()
+    assert c.delivered == sum(1 for delivered, _ in fates.values() if delivered)
+    # Attempt counts are timing-dependent only *upward* (slow ACKs add
+    # attempts; nothing removes one).
+    assert c.attempts >= sum(attempts for _, attempts in fates.values())
+    assert c.retransmissions == c.attempts - len(list(epochs))
+    hop.ledger.check_conservation()
+    # A parcel whose every data copy the schedule ate can never be ACKed.
+    for epoch, (delivered, _) in fates.items():
+        if not delivered:
+            assert outcomes[epoch] is False
+
+    _run_again_is_identical = {
+        epoch: parcel_fate(StreamFaultInjector(plan, seed=seed), IMPATIENT, 0, 1, EDGE, epoch)
+        for epoch in epochs
+    }
+    assert _run_again_is_identical == fates
+
+
+def test_frame_from_unknown_sender_is_rejected() -> None:
+    async def scenario() -> None:
+        async with _Hop(FaultPlan.lossless(), PATIENT, seed=0) as hop:
+            with pytest.raises(SimulationError):
+                hop.parent._classify(99)
+
+    _run(scenario())
+
+
+def test_duplicate_open_epoch_rejected() -> None:
+    async def scenario() -> None:
+        async with _Hop(FaultPlan.lossless(), PATIENT, seed=0) as hop:
+            hop.parent.open_epoch(1, expected=1)
+            with pytest.raises(SimulationError):
+                hop.parent.open_epoch(1, expected=1)
+            assert await hop.child.run_epoch(1, 42) is True
+
+    _run(scenario())
+
+
+def test_run_epoch_without_open_raises() -> None:
+    async def scenario() -> None:
+        async with _Hop(FaultPlan.lossless(), PATIENT, seed=0) as hop:
+            with pytest.raises(SimulationError):
+                await hop.parent.run_epoch(3, hold=0.01)
+            hop.parent.open_epoch(1, expected=1)
+            await hop.child.run_epoch(1, 42)
+
+    _run(scenario())

@@ -69,9 +69,16 @@ def test_registry_forwards_kwargs() -> None:
 
 def test_registry_custom_registration() -> None:
     from repro.core.protocol import SIESProtocol
+    from repro.protocols import registry as registry_module
 
     register_protocol("sies_alias_for_test", SIESProtocol)
-    assert create_protocol("sies_alias_for_test", 2, seed=1).name == "sies"
+    try:
+        assert create_protocol("sies_alias_for_test", 2, seed=1).name == "sies"
+    finally:
+        # The registry is process-global: leave it as we found it so
+        # snapshot tests (``repro info``) see only the built-ins.
+        registry_module._REGISTRY.pop("sies_alias_for_test", None)
+    assert "sies_alias_for_test" not in available_protocols()
 
 
 def test_protocol_rejects_nonpositive_sources() -> None:

@@ -88,6 +88,57 @@ def test_experiment_table3(capsys) -> None:
     assert "Table III" in capsys.readouterr().out
 
 
+def test_info_command_text(capsys) -> None:
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "wire format      : version 1, 16-byte header" in out
+    assert "sies" in out and "cluster/data" in out and "codec only" in out
+
+
+def test_info_command_json_snapshot(capsys) -> None:
+    import json
+
+    assert main(["info", "--json"]) == 0
+    info = json.loads(capsys.readouterr().out)
+    # The full registry surface, pinned: a new protocol or id is a
+    # deliberate snapshot update, never an accident.
+    assert info == {
+        "wire_version": 1,
+        "header_len": 16,
+        "protocols": ["cmt", "secoa_m", "secoa_s", "sies"],
+        "wire_ids": {
+            "sies": 1,
+            "cmt": 2,
+            "secoa_s": 3,
+            "secoa_m": 4,
+            "commit_attest": 5,
+            "cluster/data": 240,
+            "cluster/ack": 241,
+        },
+    }
+
+
+def test_cluster_command_text(capsys) -> None:
+    assert main(["cluster", "--protocol", "sies", "--sources", "8", "--fanout", "2",
+                 "--epochs", "2", "--loss", "0", "--window", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "epoch 1: result" in out and "(verified, all sources" in out
+    assert "delivery rate" in out and "frames per second" in out
+    assert "S-A:" in out and "A-Q:" in out
+
+
+def test_cluster_command_json_ledger(capsys) -> None:
+    import json
+
+    assert main(["cluster", "--protocol", "sies", "--sources", "8", "--fanout", "2",
+                 "--epochs", "2", "--loss", "0", "--window", "2", "--json"]) == 0
+    ledger = json.loads(capsys.readouterr().out)
+    assert ledger["num_epochs"] == 2
+    assert ledger["delivery_rate"] == 1.0
+    assert all(e["converged"] for e in ledger["epochs"])
+    assert ledger["traffic"]["S-A"]["frames_sent"] == 16  # 8 sources x 2 epochs
+
+
 def test_parser_rejects_unknown(capsys) -> None:
     with pytest.raises(SystemExit):
         build_parser().parse_args(["experiment", "fig99"])

@@ -123,6 +123,86 @@ print("epochs", len(metrics.epochs))
     assert "epochs 3" in proc.stdout
 
 
+def test_stream_framing_property_under_dash_o() -> None:
+    """FrameAssembler's contract survives assert-stripping.
+
+    Reassembly at every byte boundary plus typed-only rejection of
+    oversized and truncated streams, inside a ``python -O`` subprocess —
+    the cluster's framing layer must not lean on ``assert`` for any of
+    its guarantees.
+    """
+    proc = run_optimized(
+        """
+from repro.cluster.framing import FrameAssembler
+from repro.errors import FrameLengthError, FrameTruncatedError, WireDecodeError
+from repro.wire.frame import HEADER_LEN, encode_frame
+
+frames = [encode_frame(1, 7, b""), encode_frame(240, 9, bytes(range(37)))]
+stream = b"".join(frames)
+for cut in range(len(stream) + 1):
+    assembler = FrameAssembler()
+    got = assembler.feed(stream[:cut]) + assembler.feed(stream[cut:])
+    if got != frames:
+        raise SystemExit(f"reassembly diverged at split {cut}")
+    assembler.finish()
+
+oversized = FrameAssembler(max_payload=16)
+try:
+    oversized.feed(encode_frame(1, 1, bytes(17))[:HEADER_LEN])
+    raise SystemExit("oversized payload accepted")
+except FrameLengthError:
+    pass
+
+truncated = FrameAssembler()
+truncated.feed(frames[1][:-1])
+try:
+    truncated.finish()
+    raise SystemExit("truncated stream accepted")
+except FrameTruncatedError:
+    pass
+
+for blob in (b"\\x00" * HEADER_LEN, frames[0][:-1] + b"\\xff" * HEADER_LEN):
+    assembler = FrameAssembler()
+    try:
+        assembler.feed(blob)
+        assembler.finish()
+    except WireDecodeError:
+        pass
+    except Exception as exc:
+        raise SystemExit(f"untyped framing failure {type(exc).__name__}: {exc}")
+print("framing-ok")
+"""
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "framing-ok" in proc.stdout
+
+
+def test_cluster_run_under_dash_o() -> None:
+    """A small lossless TCP cluster run with asserts stripped."""
+    proc = run_optimized(
+        """
+from repro.cluster import ClusterConfig, run_cluster
+from repro.core.protocol import SIESProtocol
+from repro.datasets import DomainScaledWorkload
+from repro.network.topology import build_complete_tree
+from repro.runtime import FaultPlan
+
+metrics = run_cluster(
+    SIESProtocol(8, seed=3),
+    build_complete_tree(8, 2),
+    DomainScaledWorkload(8, scale=100, seed=3),
+    ClusterConfig(num_epochs=2, window=2, plan=FaultPlan.lossless(), seed=3),
+)
+if metrics.acceptance_rate() != 1.0:
+    raise SystemExit("cluster run rejected an epoch under -O")
+metrics.traffic.check_conservation()
+print("cluster-epochs", metrics.num_epochs)
+"""
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "cluster-epochs 2" in proc.stdout
+
+
 def test_wire_fuzz_raises_typed_errors_under_dash_o() -> None:
     """Decoders must fail with WireDecodeError even with asserts stripped.
 

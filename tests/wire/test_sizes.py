@@ -121,4 +121,8 @@ class TestRegistryIds:
             "secoa_s": 3,
             "secoa_m": 4,
             "commit_attest": 5,
+            # Cluster control plane (repro.cluster.envelope): high ids
+            # leave 6-239 free for future protocol codecs.
+            "cluster/data": 240,
+            "cluster/ack": 241,
         }

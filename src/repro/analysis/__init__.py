@@ -14,13 +14,22 @@ Architecture
   ``# sieslint: disable=RULE`` pragmas, and the module/path walkers.
 * :mod:`repro.analysis.baseline` — a committed JSON baseline for
   grandfathered findings; only *new* findings fail the build.
-* :mod:`repro.analysis.rules` — the concrete checkers SL001–SL005.
+* :mod:`repro.analysis.rules` — the concrete per-file checkers
+  SL001–SL009.
+* :mod:`repro.analysis.project` — the project-wide model (import
+  graph, symbol table, call resolver) and the :class:`ProjectRule`
+  framework running on it.
+* :mod:`repro.analysis.taint` — interprocedural SL001: secret flow
+  through calls, returns, and module boundaries.
+* :mod:`repro.analysis.rules.wire_contract` — SL010: the static wire
+  contract (unique in-range ids, codec completeness).
 * :mod:`repro.analysis.reporting` — text and JSON renderers.
+* :mod:`repro.analysis.sarif` — SARIF 2.1.0 renderer for CI annotation.
 
 Entry points::
 
-    from repro.analysis import lint_paths, lint_source, default_rules
-    findings = lint_paths(["src"])          # full-tree lint
+    from repro.analysis import lint_project, lint_source, default_rules
+    findings = lint_project(["src"])        # per-file + project rules
     findings = lint_source(code, "x.py")    # one in-memory module
 
 or from the command line::
@@ -39,28 +48,60 @@ from repro.analysis.core import (
     lint_source,
     rule_catalog,
 )
+from repro.analysis.project import (
+    ProjectModel,
+    ProjectRule,
+    available_project_rules,
+    lint_project,
+    project_rule_catalog,
+)
 from repro.analysis.reporting import render_json, render_text
+from repro.analysis.sarif import render_sarif
 
-# Importing the rules package registers every built-in checker.
+# Importing these modules registers every built-in checker: the rules
+# package fills the per-file registry, taint and wire_contract fill the
+# project registry.
 from repro.analysis import rules as _rules  # noqa: F401  (registration side effect)
+from repro.analysis import taint as _taint  # noqa: F401  (registration side effect)
+from repro.analysis.rules import wire_contract as _wire  # noqa: F401
 
 __all__ = [
     "Finding",
     "LintContext",
+    "ProjectModel",
+    "ProjectRule",
     "Rule",
     "Severity",
     "Baseline",
     "available_rules",
+    "available_project_rules",
     "rule_catalog",
+    "project_rule_catalog",
+    "full_rule_catalog",
     "default_rules",
     "filter_new_findings",
     "lint_paths",
+    "lint_project",
     "lint_source",
     "render_json",
+    "render_sarif",
     "render_text",
 ]
 
 
 def default_rules() -> tuple[str, ...]:
     """Rule ids enabled by default (currently: every registered rule)."""
-    return available_rules()
+    return tuple(sorted({*available_rules(), *available_project_rules()}))
+
+
+def full_rule_catalog() -> dict[str, tuple[str, str]]:
+    """Merged per-file + project catalog, one entry per rule id.
+
+    SL001 exists in both registries (fast intra-file path and the
+    interprocedural pass); the per-file entry wins because its
+    description covers the rule's contract, not the implementation
+    split.
+    """
+    catalog = dict(project_rule_catalog())
+    catalog.update(rule_catalog())
+    return dict(sorted(catalog.items()))

@@ -15,16 +15,33 @@ Suppression happens at two levels:
 
       # sieslint: disable-file=SL002
 
-Both accept a comma-separated rule list or ``all``.
+* a pragma on a decorator line, which covers the whole decorated
+  definition (decorators are where audited exemptions naturally live)::
+
+      @replay_harness  # sieslint: disable=SL002
+      def wall_clock_probe():
+          return time.time()
+
+Both accept a comma-separated rule list or ``all``.  For findings inside
+a statement that spans several physical lines, the pragma may sit on the
+statement's first or last line — the closing-parenthesis line of a long
+call works just as well as the opening one.
+
+Lint *profiles* relax rules where their invariant is not load-bearing:
+modules under ``tests/`` and ``benchmarks/`` get the ``relaxed`` profile
+(pytest rewrites asserts, test code compares digests to known answers),
+everything else gets ``strict``.  Rules consult
+:attr:`LintContext.relaxed` instead of re-deriving path heuristics.
 """
 
 from __future__ import annotations
 
 import ast
 import hashlib
+import os
 import re
 from dataclasses import dataclass
-from pathlib import Path
+from pathlib import Path, PurePath
 from typing import Callable, Iterable, Iterator
 
 from repro.errors import ParameterError
@@ -39,6 +56,7 @@ __all__ = [
     "rule_catalog",
     "lint_source",
     "lint_paths",
+    "profile_for_path",
 ]
 
 
@@ -88,6 +106,31 @@ class Finding:
 _PRAGMA_RE = re.compile(r"#\s*sieslint:\s*disable=([A-Za-z0-9_,\s]+)")
 _FILE_PRAGMA_RE = re.compile(r"#\s*sieslint:\s*disable-file=([A-Za-z0-9_,\s]+)")
 
+#: Directories whose modules get the relaxed profile.
+_RELAXED_DIRS = frozenset({"tests", "benchmarks"})
+
+PROFILE_STRICT = "strict"
+PROFILE_RELAXED = "relaxed"
+
+
+def profile_for_path(path: str) -> str:
+    """``relaxed`` for test and benchmark modules, ``strict`` elsewhere.
+
+    Relaxed modules are exempt from the rules whose invariant only binds
+    shipped code: SL004 (pytest rewrites asserts; tests never run under
+    ``-O``), SL005/SL006 (test harnesses legitimately catch broadly and
+    build malicious fixtures), and SL003's constant-time-comparison half
+    (test asserts compare digests against known answers — the test
+    runner's timing is not an attack surface).
+    """
+    pure = PurePath(path)
+    name = pure.name
+    if any(part in _RELAXED_DIRS for part in pure.parts):
+        return PROFILE_RELAXED
+    if name.startswith("test_") or name == "conftest.py":
+        return PROFILE_RELAXED
+    return PROFILE_STRICT
+
 
 def _parse_rule_list(raw: str) -> frozenset[str]:
     return frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
@@ -96,19 +139,34 @@ def _parse_rule_list(raw: str) -> frozenset[str]:
 class LintContext:
     """Per-module state shared by every rule during one traversal."""
 
-    def __init__(self, tree: ast.Module, source: str, path: str, module: str) -> None:
+    def __init__(
+        self,
+        tree: ast.Module,
+        source: str,
+        path: str,
+        module: str,
+        profile: str | None = None,
+    ) -> None:
         self.tree = tree
         self.source = source
         self.path = path
         self.module = module
+        self.profile = profile or profile_for_path(path)
         self.lines = source.splitlines()
         self.findings: list[Finding] = []
         self._parents: dict[ast.AST, ast.AST] = {}
         self._line_pragmas: dict[int, frozenset[str]] = {}
         self._file_pragmas: frozenset[str] = frozenset()
+        #: (start, end, rules) spans from pragmas on decorator lines.
+        self._span_pragmas: list[tuple[int, int, frozenset[str]]] = []
         self.import_aliases: dict[str, str] = {}
         self.from_imports: dict[str, str] = {}
         self._index()
+
+    @property
+    def relaxed(self) -> bool:
+        """True for test/benchmark modules (the relaxed rule profile)."""
+        return self.profile == PROFILE_RELAXED
 
     # -- indexing ------------------------------------------------------
 
@@ -133,6 +191,16 @@ class LintContext:
                     self.from_imports[alias.asname or alias.name] = (
                         f"{node.module}.{alias.name}"
                     )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                # A pragma on a decorator line covers the whole decorated
+                # definition: the decorator is above node.lineno (the
+                # `def`/`class` line), so plain line matching misses it.
+                for decorator in node.decorator_list:
+                    rules = self._line_pragmas.get(decorator.lineno)
+                    if rules:
+                        self._span_pragmas.append(
+                            (decorator.lineno, node.end_lineno or node.lineno, rules)
+                        )
 
     # -- helpers used by rules -----------------------------------------
 
@@ -187,14 +255,41 @@ class LintContext:
         if rule in self._file_pragmas or "ALL" in self._file_pragmas:
             return True
         pragmas = self._line_pragmas.get(lineno, frozenset())
-        return rule in pragmas or "ALL" in pragmas
+        if rule in pragmas or "ALL" in pragmas:
+            return True
+        for start, end, rules in self._span_pragmas:
+            if start <= lineno <= end and (rule in rules or "ALL" in rules):
+                return True
+        return False
+
+    def _pragma_lines(self, node: ast.AST) -> set[int]:
+        """Physical lines whose pragma suppresses a finding on *node*.
+
+        The node's own first and last line, plus the first and last line
+        of its enclosing *statement* — so a finding inside a multi-line
+        call can be suppressed on the line where the statement starts or
+        on its closing line, not only on the (possibly interior) line
+        the offending expression happens to land on.
+        """
+        lines = {getattr(node, "lineno", 1)}
+        end = getattr(node, "end_lineno", None)
+        if end:
+            lines.add(end)
+        statement: ast.AST | None = node
+        while statement is not None and not isinstance(statement, ast.stmt):
+            statement = self._parents.get(statement)
+        if statement is not None:
+            lines.add(statement.lineno)
+            if statement.end_lineno:
+                lines.add(statement.end_lineno)
+        return lines
 
     def report(
         self, rule: "Rule", node: ast.AST, message: str, *, severity: str | None = None
     ) -> None:
         lineno = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
-        if self.is_suppressed(rule.rule_id, lineno):
+        if any(self.is_suppressed(rule.rule_id, line) for line in self._pragma_lines(node)):
             return
         self.findings.append(
             Finding(
@@ -341,12 +436,51 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             raise ParameterError(f"lint target does not exist: {path}")
 
 
+def _lint_one_file(path_str: str, rule_ids: tuple[str, ...] | None) -> list[Finding]:
+    """Worker for the parallel path: lint one file by path.
+
+    Module-level (not a closure) so :mod:`concurrent.futures` process
+    pools can ship it to workers; `Finding` is a frozen dataclass of
+    primitives and crosses the process boundary unchanged.
+    """
+    source = Path(path_str).read_text(encoding="utf-8")
+    return lint_source(source, path_str, rules=rule_ids)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: None/1 → serial, 0 → one per CPU."""
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ParameterError(f"--jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
 def lint_paths(
-    paths: Iterable[str | Path], *, rules: Iterable[str] | None = None
+    paths: Iterable[str | Path],
+    *,
+    rules: Iterable[str] | None = None,
+    jobs: int | None = None,
 ) -> list[Finding]:
-    """Lint every ``.py`` file under *paths* (files or directories)."""
+    """Lint every ``.py`` file under *paths* (files or directories).
+
+    With ``jobs`` > 1 (or 0 for one worker per CPU) files are analysed
+    in a process pool; results are merged in deterministic path order,
+    so parallel and serial runs produce byte-identical reports.
+    """
+    files = [str(p) for p in iter_python_files(paths)]
+    rule_ids = None if rules is None else tuple(rules)
+    workers = resolve_jobs(jobs)
     findings: list[Finding] = []
-    for file_path in iter_python_files(paths):
-        source = file_path.read_text(encoding="utf-8")
-        findings.extend(lint_source(source, str(file_path), rules=rules))
+    if workers > 1 and len(files) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(workers, len(files))) as pool:
+            for per_file in pool.map(_lint_one_file, files, [rule_ids] * len(files)):
+                findings.extend(per_file)
+    else:
+        for path_str in files:
+            findings.extend(_lint_one_file(path_str, rule_ids))
     return findings

@@ -1,0 +1,386 @@
+"""Project-wide analysis: the model cross-file rules run on.
+
+The per-file framework (:mod:`repro.analysis.core`) sees one module at
+a time, which is exactly the wrong shape for the failure modes the
+asyncio cluster introduced: a secret that leaks two calls away from
+where it was named, a wire id claimed twice in different modules, a
+protocol registered without a codec.  :class:`ProjectModel` parses the
+whole target tree once and derives
+
+* a **module table** — dotted name → source, AST, and a
+  :class:`~repro.analysis.core.LintContext` (so project findings honor
+  the same pragma machinery as per-file findings);
+* an **import graph** — which project modules import which;
+* a **symbol table** — every function, async function, class, and
+  method under its qualified ``module.Class.name`` key;
+* a **call resolver** — best-effort mapping from a call site to the
+  project function it invokes (bare names, ``from``-imports, module
+  aliases, and ``self.method`` within a class).
+
+Cross-file rules subclass :class:`ProjectRule` and register with
+:func:`register_project_rule`; the driver (:func:`lint_project`) runs
+the per-file pass first (optionally in parallel), then builds one model
+and runs every project rule over it.  The resolver is deliberately
+conservative: a call it cannot explain resolves to ``None`` and simply
+ends the taint/contract chain — no guessing, no false edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.core import (
+    Finding,
+    LintContext,
+    _module_name_for,
+    iter_python_files,
+    lint_paths,
+)
+from repro.errors import ParameterError
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "ProjectRule",
+    "register_project_rule",
+    "available_project_rules",
+    "project_rule_catalog",
+    "lint_project",
+]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the project."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    ctx: LintContext
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project symbol table."""
+
+    qualname: str  # "module.Class.method" or "module.function"
+    module: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_async: bool
+    is_method: bool
+    #: Positional parameter names, in order, including self/cls.
+    params: tuple[str, ...] = ()
+
+    @property
+    def call_params(self) -> tuple[str, ...]:
+        """Parameter names as seen by a caller (``self``/``cls`` elided)."""
+        if self.is_method and self.params and self.params[0] in ("self", "cls"):
+            return self.params[1:]
+        return self.params
+
+
+def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    args = node.args
+    return tuple(a.arg for a in [*args.posonlyargs, *args.args])
+
+
+class ProjectModel:
+    """Import graph + symbol table over a set of Python modules."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        #: module name → project modules it imports.
+        self.import_graph: dict[str, set[str]] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        #: class qualname → method name → function qualname.
+        self.classes: dict[str, dict[str, str]] = {}
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(cls, files: Iterable[str | Path]) -> "ProjectModel":
+        """Parse *files* and derive the graphs; syntax errors skip the file.
+
+        (The per-file pass already reports unparseable modules as SL000,
+        so the project pass just works with what parses.)
+        """
+        model = cls()
+        for file_path in files:
+            path = Path(file_path)
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError:
+                continue
+            name = _module_name_for(path)
+            ctx = LintContext(tree, source, str(path), name)
+            model.modules[name] = ModuleInfo(
+                name=name, path=str(path), source=source, tree=tree, ctx=ctx
+            )
+        model._link()
+        return model
+
+    def _link(self) -> None:
+        names = set(self.modules)
+        for name, info in self.modules.items():
+            imported: set[str] = set()
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        imported.add(alias.name)
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    imported.add(node.module)
+                    for alias in node.names:
+                        imported.add(f"{node.module}.{alias.name}")
+            self.import_graph[name] = {
+                target for target in imported
+                if target in names or target.rsplit(".", 1)[0] in names
+            }
+            self._index_symbols(info)
+
+    def _index_symbols(self, info: ModuleInfo) -> None:
+        def visit(node: ast.AST, prefix: str, in_class: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{prefix}.{child.name}"
+                    self.functions[qualname] = FunctionInfo(
+                        qualname=qualname,
+                        module=info.name,
+                        node=child,
+                        is_async=isinstance(child, ast.AsyncFunctionDef),
+                        is_method=in_class,
+                        params=_param_names(child),
+                    )
+                    if in_class:
+                        self.classes.setdefault(prefix, {})[child.name] = qualname
+                    # Nested defs are walked but anchored at their parent
+                    # scope; the resolver never targets them, which is
+                    # the conservative choice.
+                elif isinstance(child, ast.ClassDef):
+                    class_qual = f"{prefix}.{child.name}"
+                    self.classes.setdefault(class_qual, {})
+                    visit(child, class_qual, True)
+
+        visit(info.tree, info.name, False)
+
+    # -- queries -------------------------------------------------------
+
+    def imports_of(self, module: str) -> frozenset[str]:
+        """Project modules (or project symbols) *module* imports."""
+        return frozenset(self.import_graph.get(module, frozenset()))
+
+    def function(self, qualname: str) -> FunctionInfo | None:
+        return self.functions.get(qualname)
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        return iter(self.functions.values())
+
+    def enclosing_class_of(self, info: ModuleInfo, node: ast.AST) -> str | None:
+        """Qualified name of the class a node's scope belongs to, if any."""
+        for ancestor in info.ctx.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                prefix = self._class_prefix(info, ancestor)
+                return f"{prefix}.{ancestor.name}"
+        return None
+
+    def _class_prefix(self, info: ModuleInfo, class_node: ast.ClassDef) -> str:
+        parts: list[str] = []
+        for ancestor in info.ctx.ancestors(class_node):
+            if isinstance(ancestor, ast.ClassDef):
+                parts.append(ancestor.name)
+        return ".".join([info.name, *reversed(parts)])
+
+    def resolve_call(self, info: ModuleInfo, call: ast.Call) -> FunctionInfo | None:
+        """Map a call site to the project function it invokes, if knowable.
+
+        Handles: bare names (same-module functions and ``from``-imports),
+        dotted names through module import aliases, and ``self.method``/
+        ``cls.method`` within a class body.  Anything else — calls on
+        arbitrary objects, dynamic dispatch — resolves to ``None``.
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            local = self.functions.get(f"{info.name}.{func.id}")
+            if local is not None and not local.is_method:
+                return local
+            dotted = info.ctx.from_imports.get(func.id)
+            if dotted is not None:
+                return self.functions.get(dotted)
+            return None
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+                class_qual = self.enclosing_class_of(info, call)
+                if class_qual is not None:
+                    method = self.classes.get(class_qual, {}).get(func.attr)
+                    if method is not None:
+                        return self.functions.get(method)
+                return None
+            target = info.ctx.qualified_call_target(call)
+            if target is not None:
+                return self.functions.get(target)
+        return None
+
+    def map_arguments(
+        self, call: ast.Call, callee: FunctionInfo
+    ) -> list[tuple[str, ast.expr]]:
+        """Pair each call argument with the callee parameter it binds to.
+
+        Starred args and surplus positionals are dropped (conservative);
+        keywords map by name.
+        """
+        params = callee.call_params
+        pairs: list[tuple[str, ast.expr]] = []
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if index < len(params):
+                pairs.append((params[index], arg))
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in params:
+                pairs.append((keyword.arg, keyword.value))
+        return pairs
+
+
+# ----------------------------------------------------------------------
+# Project-rule framework
+# ----------------------------------------------------------------------
+
+
+class ProjectRule:
+    """Base class for cross-file checkers.
+
+    Subclasses declare ``rule_id``/``severity``/``description`` exactly
+    like per-file rules, and implement :meth:`run` over the whole model.
+    Report through each module's :class:`LintContext` (``minfo.ctx``) so
+    pragma suppression keeps working; the driver collects the contexts'
+    findings afterwards.
+    """
+
+    rule_id: str = "SL000"
+    severity: str = "error"
+    description: str = ""
+
+    def run(self, model: ProjectModel) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def report(self, minfo: ModuleInfo, node: ast.AST, message: str) -> None:
+        minfo.ctx.report(self, node, message)  # type: ignore[arg-type]
+
+
+_PROJECT_REGISTRY: dict[str, Callable[[], ProjectRule]] = {}
+
+
+def register_project_rule(factory: Callable[[], ProjectRule]) -> Callable[[], ProjectRule]:
+    """Class decorator registering a project rule under its ``rule_id``."""
+    probe = factory()
+    if not probe.rule_id or probe.rule_id == "SL000":
+        raise ParameterError(f"project rule {factory!r} must define a rule_id")
+    if probe.rule_id in _PROJECT_REGISTRY:
+        raise ParameterError(f"duplicate project rule id {probe.rule_id}")
+    _PROJECT_REGISTRY[probe.rule_id] = factory
+    return factory
+
+
+def available_project_rules() -> tuple[str, ...]:
+    return tuple(sorted(_PROJECT_REGISTRY))
+
+
+def project_rule_catalog() -> dict[str, tuple[str, str]]:
+    """Rule id → (severity, description) for the project registry."""
+    catalog = {}
+    for rule_id, factory in sorted(_PROJECT_REGISTRY.items()):
+        rule = factory()
+        catalog[rule_id] = (rule.severity, rule.description)
+    return catalog
+
+
+# ----------------------------------------------------------------------
+# Combined driver
+# ----------------------------------------------------------------------
+
+
+def _split_rule_selection(
+    rules: Iterable[str] | None,
+) -> tuple[tuple[str, ...] | None, tuple[str, ...] | None]:
+    """Split a ``--rules`` list between the per-file and project registries."""
+    from repro.analysis.core import available_rules
+
+    if rules is None:
+        return None, None
+    per_file_ids = set(available_rules())
+    project_ids = set(available_project_rules())
+    per_file: list[str] = []
+    project: list[str] = []
+    for raw in rules:
+        rid = raw.strip().upper()
+        in_either = False
+        if rid in per_file_ids:
+            per_file.append(rid)
+            in_either = True
+        if rid in project_ids:
+            project.append(rid)
+            in_either = True
+        if not in_either:
+            raise ParameterError(
+                f"unknown rule {raw!r}; available: "
+                f"{', '.join(sorted(per_file_ids | project_ids))}"
+            )
+    return tuple(per_file), tuple(project)
+
+
+def run_project_rules(
+    files: Iterable[str | Path], rules: Iterable[str] | None = None
+) -> list[Finding]:
+    """Build a :class:`ProjectModel` over *files* and run the project rules."""
+    selected = available_project_rules() if rules is None else tuple(rules)
+    instances = []
+    for rule_id in selected:
+        rid = rule_id.upper()
+        if rid not in _PROJECT_REGISTRY:
+            raise ParameterError(
+                f"unknown project rule {rule_id!r}; available: "
+                f"{', '.join(available_project_rules())}"
+            )
+        instances.append(_PROJECT_REGISTRY[rid]())
+    if not instances:
+        return []
+    model = ProjectModel.build(files)
+    for rule in instances:
+        rule.run(model)
+    findings: list[Finding] = []
+    for info in model.modules.values():
+        findings.extend(info.ctx.findings)
+    return findings
+
+
+def lint_project(
+    paths: Iterable[str | Path],
+    *,
+    rules: Iterable[str] | None = None,
+    jobs: int | None = None,
+    project: bool = True,
+) -> list[Finding]:
+    """The full sieslint pass: per-file rules plus project-wide rules.
+
+    This is what ``repro lint`` runs.  The per-file pass may fan out
+    over a process pool (*jobs*); the project pass is one in-process
+    model build (parsing the tree a second time costs milliseconds and
+    keeps worker results trivially mergeable).
+    """
+    files = [str(p) for p in iter_python_files(paths)]
+    per_file_sel, project_sel = _split_rule_selection(rules)
+    findings = list(
+        lint_paths(files, rules=per_file_sel, jobs=jobs)
+        if per_file_sel is None or per_file_sel
+        else []
+    )
+    if project and (project_sel is None or project_sel):
+        findings.extend(run_project_rules(files, rules=project_sel))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

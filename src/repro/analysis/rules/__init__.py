@@ -18,13 +18,28 @@ Importing this package registers every rule with the framework registry:
 * **SL006** ``unsafe-deserialization`` — no pickle/marshal/eval/exec on
   paths that parse received bytes; decoding goes through the typed
   :mod:`repro.wire` codecs.
+* **SL007** ``asyncio-tasks`` — no dropped ``create_task``/
+  ``ensure_future`` handles, no ``async def`` called without ``await``.
+* **SL008** ``asyncio-blocking`` — no ``time.sleep``/sync subprocess/
+  socket IO inside ``async def``; one blocking call stalls every node
+  on the loop.
+* **SL009** ``shared-state`` — no read-modify-write of instance state
+  across an ``await`` without a lock (the asyncio lost update).
+
+The project-wide checkers (interprocedural SL001 and the SL010 wire
+contract) live in :mod:`repro.analysis.taint` and
+:mod:`repro.analysis.rules.wire_contract`; they register with the
+project registry instead and run from :func:`repro.analysis.lint_project`.
 """
 
+from repro.analysis.rules.asyncio_blocking import AsyncioBlockingRule
+from repro.analysis.rules.asyncio_tasks import AsyncioTaskRule
 from repro.analysis.rules.bare_assert import BareAssertRule
 from repro.analysis.rules.broad_except import BroadExceptRule
 from repro.analysis.rules.crypto_arith import CryptoArithmeticRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.secret_flow import SecretFlowRule
+from repro.analysis.rules.shared_state import SharedStateRule
 from repro.analysis.rules.unsafe_deserialization import UnsafeDeserializationRule
 
 __all__ = [
@@ -34,4 +49,7 @@ __all__ = [
     "BareAssertRule",
     "BroadExceptRule",
     "UnsafeDeserializationRule",
+    "AsyncioTaskRule",
+    "AsyncioBlockingRule",
+    "SharedStateRule",
 ]

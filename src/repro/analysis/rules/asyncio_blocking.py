@@ -1,0 +1,74 @@
+"""SL008 — no blocking calls inside ``async def``.
+
+A single ``time.sleep()`` inside a coroutine stalls the *entire* event
+loop: every node hosted by that loop stops ACKing, the orchestrator's
+round-trip timer keeps running, and the epoch deadline machinery starts
+reporting healthy children as failed.  The same goes for synchronous
+socket/subprocess/file IO — the paper's latency model assumes
+aggregation messages overlap, which one blocking call quietly breaks.
+
+The rule flags calls to a known-blocking API when the nearest enclosing
+function is an ``async def``.  Aliased imports are resolved through the
+module's import table (``from time import sleep`` / ``import time as
+t``).  The asyncio equivalents (``asyncio.sleep``,
+``loop.run_in_executor``, ``asyncio.to_thread``) are the fixes, not
+findings.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import LintContext, Rule, Severity, register_rule
+
+__all__ = ["AsyncioBlockingRule"]
+
+#: Dotted call targets that block the event loop, with the async fix.
+_BLOCKING_CALLS: dict[str, str] = {
+    "time.sleep": "await asyncio.sleep(...)",
+    "os.system": "asyncio.create_subprocess_shell(...)",
+    "os.popen": "asyncio.create_subprocess_shell(...)",
+    "os.wait": "asyncio.create_subprocess_exec(...) and await proc.wait()",
+    "subprocess.run": "await asyncio.create_subprocess_exec(...)",
+    "subprocess.call": "await asyncio.create_subprocess_exec(...)",
+    "subprocess.check_call": "await asyncio.create_subprocess_exec(...)",
+    "subprocess.check_output": "await asyncio.create_subprocess_exec(...)",
+    "subprocess.getoutput": "await asyncio.create_subprocess_shell(...)",
+    "subprocess.Popen": "await asyncio.create_subprocess_exec(...)",
+    "socket.create_connection": "await asyncio.open_connection(...)",
+    "socket.getaddrinfo": "await loop.getaddrinfo(...)",
+    "urllib.request.urlopen": "loop.run_in_executor(...)",
+    "requests.get": "loop.run_in_executor(...)",
+    "requests.post": "loop.run_in_executor(...)",
+    "requests.request": "loop.run_in_executor(...)",
+}
+
+
+@register_rule
+class AsyncioBlockingRule(Rule):
+    rule_id = "SL008"
+    severity = Severity.ERROR
+    description = (
+        "blocking call (time.sleep, sync subprocess/socket IO) inside "
+        "async def stalls the event loop"
+    )
+    interests = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        enclosing = ctx.enclosing_function(node)
+        if not isinstance(enclosing, ast.AsyncFunctionDef):
+            return
+        target = ctx.qualified_call_target(node)
+        if target is None:
+            return
+        fix = _BLOCKING_CALLS.get(target)
+        if fix is None:
+            return
+        ctx.report(
+            self,
+            node,
+            f"blocking call {target}() inside async def "
+            f"{enclosing.name}() stalls the event loop; use {fix}",
+        )

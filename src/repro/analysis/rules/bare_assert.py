@@ -14,17 +14,10 @@ under ``-O``.
 from __future__ import annotations
 
 import ast
-from pathlib import PurePath
 
 from repro.analysis.core import LintContext, Rule, Severity, register_rule
 
 __all__ = ["BareAssertRule"]
-
-
-def _is_test_module(path: str) -> bool:
-    parts = PurePath(path).parts
-    name = PurePath(path).name
-    return "tests" in parts or name.startswith("test_") or name == "conftest.py"
 
 
 @register_rule
@@ -38,7 +31,9 @@ class BareAssertRule(Rule):
     interests = (ast.Assert,)
 
     def begin_module(self, ctx: LintContext) -> bool:
-        return not _is_test_module(ctx.path)
+        # pytest rewrites asserts and never runs under -O; the relaxed
+        # profile (tests, benchmarks) is exactly where asserts belong.
+        return not ctx.relaxed
 
     def check(self, node: ast.AST, ctx: LintContext) -> None:
         ctx.report(

@@ -84,7 +84,11 @@ class CryptoArithmeticRule(Rule):
 
     def check(self, node: ast.AST, ctx: LintContext) -> None:
         if isinstance(node, ast.Compare):
-            self._check_compare(node, ctx)
+            # Test asserts compare digests/shares against known answers;
+            # the test runner's timing is not an attack surface, so the
+            # constant-time half is strict-profile only.
+            if not ctx.relaxed:
+                self._check_compare(node, ctx)
         if not self._in_crypto:
             return
         if isinstance(node, ast.Constant) and type(node.value) is float:

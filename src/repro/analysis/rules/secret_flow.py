@@ -23,7 +23,7 @@ from typing import Iterator
 
 from repro.analysis.core import LintContext, Rule, Severity, register_rule
 
-__all__ = ["SecretFlowRule"]
+__all__ = ["SecretFlowRule", "is_secret_name", "sink_name"]
 
 # Matches ``secret``/``master_key``/``seed_material``... but not
 # ``keyboard``/``monkey``/``seedling`` — the pattern anchors on
@@ -46,6 +46,30 @@ def _identifier_of(node: ast.AST) -> str | None:
         return node.id
     if isinstance(node, ast.Attribute):
         return node.attr
+    return None
+
+
+def is_secret_name(name: str) -> bool:
+    """True when an identifier looks like key/secret/seed material."""
+    return _SECRET_WORD.search(name.lower()) is not None
+
+
+def sink_name(node: ast.Call) -> str | None:
+    """Classify a call as a human-readable-output sink (or ``None``).
+
+    Shared with the interprocedural pass (:mod:`repro.analysis.taint`),
+    which needs the same print/logging classification inside callee
+    bodies.
+    """
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "print":
+        return "print()"
+    if isinstance(func, ast.Attribute) and func.attr in _LOGGING_METHODS:
+        base = func.value
+        if isinstance(base, ast.Name) and base.id in _LOGGER_NAMES:
+            return f"{base.id}.{func.attr}()"
+        if isinstance(base, ast.Attribute) and base.attr in _LOGGER_NAMES:
+            return f"{base.attr}.{func.attr}()"
     return None
 
 
@@ -134,15 +158,4 @@ class SecretFlowRule(Rule):
 
     # -- sink classification -------------------------------------------
 
-    @staticmethod
-    def _sink_name(node: ast.Call) -> str | None:
-        func = node.func
-        if isinstance(func, ast.Name) and func.id == "print":
-            return "print()"
-        if isinstance(func, ast.Attribute) and func.attr in _LOGGING_METHODS:
-            base = func.value
-            if isinstance(base, ast.Name) and base.id in _LOGGER_NAMES:
-                return f"{base.id}.{func.attr}()"
-            if isinstance(base, ast.Attribute) and base.attr in _LOGGER_NAMES:
-                return f"{base.attr}.{func.attr}()"
-        return None
+    _sink_name = staticmethod(sink_name)

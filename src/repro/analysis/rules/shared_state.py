@@ -1,0 +1,124 @@
+"""SL009 — read-modify-write of shared state across an ``await``.
+
+Every ``await`` is a scheduling point: the event loop may run any other
+task before control returns.  A statement that *reads* an instance
+attribute, awaits, and then *stores* a value derived from that stale
+read is the classic asyncio lost update::
+
+    async def _merge(self, child):
+        self.partial_sum += await child.fetch()   # SL009
+
+Two ``_merge`` tasks interleave at the await, both add to the same
+snapshot of ``partial_sum``, and one child's contribution disappears —
+for this codebase that is an exactness violation the SIES commitments
+are designed to detect in *others*, not to commit ourselves.
+
+The rule flags, inside ``async def``:
+
+* ``AugAssign`` on ``self.<attr>`` (or a subscript of one) whose value
+  contains an ``await`` — the implicit read happens before the await
+  completes;
+* ``Assign`` to ``self.<attr>`` whose right-hand side both reads the
+  same attribute and contains an ``await``.
+
+Plain ``self.x = await f()`` is *not* flagged — there is no stale read,
+and the cluster substrate assigns freshly-awaited servers and readers
+this way throughout.  Statements inside an ``async with`` over
+something lock-like (``...lock``/``...mutex``) are exempt: that is the
+single-writer discipline the rule exists to suggest.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import LintContext, Rule, Severity, register_rule
+
+__all__ = ["SharedStateRule"]
+
+
+def _self_attribute(node: ast.AST) -> str | None:
+    """The attribute name when *node* is ``self.<attr>`` (or a subscript of it)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _contains_await(expr: ast.AST) -> bool:
+    return any(isinstance(node, ast.Await) for node in ast.walk(expr))
+
+
+def _reads_self_attribute(expr: ast.AST, attr: str) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr == attr:
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                if isinstance(node.ctx, ast.Load):
+                    return True
+    return False
+
+
+def _looks_like_lock(expr: ast.AST) -> bool:
+    for node in ast.walk(expr):
+        name = (
+            node.id if isinstance(node, ast.Name)
+            else node.attr if isinstance(node, ast.Attribute)
+            else None
+        )
+        if name is not None and ("lock" in name.lower() or "mutex" in name.lower()):
+            return True
+    return False
+
+
+@register_rule
+class SharedStateRule(Rule):
+    rule_id = "SL009"
+    severity = Severity.WARNING
+    description = (
+        "instance attribute read-modify-written across an await without "
+        "a lock — concurrent tasks can lose updates"
+    )
+    interests = (ast.AugAssign, ast.Assign)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if not isinstance(ctx.enclosing_function(node), ast.AsyncFunctionDef):
+            return
+        if isinstance(node, ast.AugAssign):
+            attr = _self_attribute(node.target)
+            if attr is None or not _contains_await(node.value):
+                return
+        elif isinstance(node, ast.Assign):
+            if len(node.targets) != 1:
+                return
+            attr = _self_attribute(node.targets[0])
+            if attr is None or not _contains_await(node.value):
+                return
+            if not _reads_self_attribute(node.value, attr):
+                return
+        else:
+            return
+        if self._under_lock(node, ctx):
+            return
+        ctx.report(
+            self,
+            node,
+            f"self.{attr} is read, an await runs, then the stale value is "
+            "stored — another task can interleave at the await and its "
+            "update is lost; guard with asyncio.Lock or compute before "
+            "awaiting",
+        )
+
+    @staticmethod
+    def _under_lock(node: ast.AST, ctx: LintContext) -> bool:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.AsyncWith):
+                if any(_looks_like_lock(item.context_expr) for item in ancestor.items):
+                    return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+        return False

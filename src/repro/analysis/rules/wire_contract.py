@@ -1,0 +1,216 @@
+"""SL010 — the wire contract, checked statically.
+
+The runtime registry (:mod:`repro.protocols.registry`) collision-checks
+wire ids *at import time* — which means a duplicate id in a module
+nobody imported yet ships silently and only explodes on the first
+cluster run that loads both codecs.  This project rule lifts the same
+contract to lint time by reading the **literal claims** out of the
+source tree:
+
+* every ``register_wire_protocol_id(name, id)`` call with literal
+  arguments must claim an id in ``[1, 255]``;
+* no two claims may share an id under different names, or a name under
+  different ids;
+* the control-envelope ids **240/241** belong to
+  ``repro.cluster.envelope`` alone — a codec grabbing one would let a
+  data frame impersonate a cluster ACK;
+* every :class:`~repro.wire.codec.PSRCodec` subclass must provide
+  ``encode_payload``, ``decode_payload``, a ``protocol_id`` claim and a
+  ``protocol_name``;
+* every ``register_protocol(name, ...)`` facade entry must have a codec
+  whose ``protocol_name`` matches — a protocol you can construct but
+  not serialize cannot cross the cluster.
+
+Relaxed-profile modules (tests, benchmarks) are out of scope: test
+suites legitimately register throwaway aliases and malformed claims to
+exercise the runtime checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.core import Severity
+from repro.analysis.project import (
+    ModuleInfo,
+    ProjectModel,
+    ProjectRule,
+    register_project_rule,
+)
+
+__all__ = ["WireContractRule"]
+
+#: Control-plane frame ids owned by the cluster envelope layer.
+_CONTROL_IDS = frozenset({240, 241})
+_ENVELOPE_MODULE = "repro.cluster.envelope"
+
+_CODEC_METHODS = ("encode_payload", "decode_payload")
+_CODEC_ATTRS = ("protocol_id", "protocol_name")
+
+
+def _callee_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@dataclass
+class _WireClaim:
+    minfo: ModuleInfo
+    node: ast.Call
+    name: str
+    wire_id: int
+
+
+@register_project_rule
+class WireContractRule(ProjectRule):
+    rule_id = "SL010"
+    severity = Severity.ERROR
+    description = (
+        "wire-contract violation: duplicate/reserved/out-of-range protocol "
+        "id, PSRCodec subclass missing encode/decode, or protocol "
+        "registered without a codec"
+    )
+
+    def run(self, model: ProjectModel) -> None:
+        claims: list[_WireClaim] = []
+        codec_names: set[str] = set()
+        registered: list[tuple[ModuleInfo, ast.Call, str]] = []
+        for info in model.modules.values():
+            if info.ctx.relaxed:
+                continue
+            self._scan_module(info, claims, codec_names, registered)
+        self._check_claims(claims)
+        for minfo, call, name in registered:
+            if name not in codec_names:
+                self.report(
+                    minfo,
+                    call,
+                    f"protocol {name!r} is registered but no PSRCodec declares "
+                    f"protocol_name = {name!r}; it cannot cross the wire",
+                )
+
+    # -- collection ----------------------------------------------------
+
+    def _scan_module(
+        self,
+        info: ModuleInfo,
+        claims: list[_WireClaim],
+        codec_names: set[str],
+        registered: list[tuple[ModuleInfo, ast.Call, str]],
+    ) -> None:
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Call):
+                callee = _callee_name(node)
+                if callee == "register_wire_protocol_id":
+                    claim = self._literal_claim(info, node)
+                    if claim is not None:
+                        claims.append(claim)
+                elif callee == "register_protocol" and node.args:
+                    first = node.args[0]
+                    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                        registered.append((info, node, first.value))
+            elif isinstance(node, ast.ClassDef) and self._is_codec_class(node):
+                codec_names.update(self._check_codec_class(info, node))
+
+    @staticmethod
+    def _literal_claim(info: ModuleInfo, call: ast.Call) -> _WireClaim | None:
+        if len(call.args) < 2:
+            return None
+        name_arg, id_arg = call.args[0], call.args[1]
+        if not (isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)):
+            return None
+        if not (isinstance(id_arg, ast.Constant) and isinstance(id_arg.value, int)):
+            return None
+        return _WireClaim(info, call, name_arg.value, id_arg.value)
+
+    @staticmethod
+    def _is_codec_class(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            base_name = (
+                base.id if isinstance(base, ast.Name)
+                else base.attr if isinstance(base, ast.Attribute)
+                else None
+            )
+            if base_name == "PSRCodec":
+                return True
+        return False
+
+    # -- checks --------------------------------------------------------
+
+    def _check_claims(self, claims: list[_WireClaim]) -> None:
+        by_id: dict[int, list[_WireClaim]] = {}
+        by_name: dict[str, list[_WireClaim]] = {}
+        for claim in claims:
+            if not 1 <= claim.wire_id <= 0xFF:
+                self.report(
+                    claim.minfo,
+                    claim.node,
+                    f"wire id {claim.wire_id} for {claim.name!r} is outside "
+                    "the 1-byte frame-header range [1, 255]",
+                )
+                continue
+            if claim.wire_id in _CONTROL_IDS and claim.minfo.name != _ENVELOPE_MODULE:
+                self.report(
+                    claim.minfo,
+                    claim.node,
+                    f"wire id {claim.wire_id} is a cluster control-envelope id "
+                    f"(owned by {_ENVELOPE_MODULE}); a codec using it would let "
+                    "data frames impersonate control frames",
+                )
+            by_id.setdefault(claim.wire_id, []).append(claim)
+            by_name.setdefault(claim.name, []).append(claim)
+        for wire_id, group in sorted(by_id.items()):
+            if len({c.name for c in group}) > 1:
+                owners = ", ".join(sorted({c.name for c in group}))
+                for claim in group:
+                    self.report(
+                        claim.minfo,
+                        claim.node,
+                        f"wire id {wire_id} is claimed by multiple protocols "
+                        f"({owners}); receivers cannot dispatch the frame",
+                    )
+        for name, group in sorted(by_name.items()):
+            if len({c.wire_id for c in group}) > 1:
+                ids = ", ".join(str(c.wire_id) for c in sorted(group, key=lambda c: c.wire_id))
+                for claim in group:
+                    self.report(
+                        claim.minfo,
+                        claim.node,
+                        f"protocol {name!r} claims conflicting wire ids ({ids})",
+                    )
+
+    def _check_codec_class(self, info: ModuleInfo, node: ast.ClassDef) -> set[str]:
+        """Validate one PSRCodec subclass; returns its protocol_name(s)."""
+        methods = {
+            item.name
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        assigned: dict[str, ast.expr] = {}
+        for item in node.body:
+            if isinstance(item, ast.Assign):
+                for target in item.targets:
+                    if isinstance(target, ast.Name):
+                        assigned[target.id] = item.value
+            elif isinstance(item, ast.AnnAssign) and item.value is not None:
+                if isinstance(item.target, ast.Name):
+                    assigned[item.target.id] = item.value
+        missing = [m for m in _CODEC_METHODS if m not in methods]
+        missing += [a for a in _CODEC_ATTRS if a not in assigned and a not in methods]
+        if missing:
+            self.report(
+                info,
+                node,
+                f"PSRCodec subclass {node.name} is missing {', '.join(missing)}; "
+                "every codec must declare its id/name and both payload halves",
+            )
+        names: set[str] = set()
+        value = assigned.get("protocol_name")
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            names.add(value.value)
+        return names

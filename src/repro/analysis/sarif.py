@@ -1,0 +1,123 @@
+"""SARIF 2.1.0 renderer: sieslint findings as CI-consumable annotations.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests; uploading one file from the lint job turns every
+finding into an inline PR annotation at the offending line.  The
+renderer emits the minimal conforming document:
+
+* one ``run`` with a ``tool.driver`` describing sieslint and carrying
+  the full rule catalog (``rules[]`` with id, short description, and
+  default severity), so viewers can show rule help without a network;
+* one ``result`` per finding with ``ruleId``, ``ruleIndex``, ``level``
+  (``error``/``warning``), message text, and a ``physicalLocation``
+  (SARIF columns are 1-based; :class:`~repro.analysis.core.Finding`
+  columns are 0-based AST offsets, hence the ``+1``);
+* ``partialFingerprints.sieslintFingerprint/v1`` set to the baseline
+  fingerprint, so GitHub's alert tracking survives line drift exactly
+  like the committed baseline does;
+* findings grandfathered by a baseline are still emitted but carry a
+  ``suppressions`` entry, matching how the text report counts them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import Finding, Severity, rule_catalog
+from repro.analysis.project import project_rule_catalog
+
+__all__ = ["render_sarif", "SARIF_VERSION", "SARIF_SCHEMA"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: SL000 (syntax error) has no registry entry but can appear in findings.
+_FALLBACK_RULES = {"SL000": (Severity.ERROR, "module failed to parse")}
+
+
+def _merged_catalog() -> dict[str, tuple[str, str]]:
+    # Project entries first so the per-file SL001 description wins.
+    catalog = dict(project_rule_catalog())
+    catalog.update(rule_catalog())
+    catalog = dict(sorted(catalog.items()))
+    return catalog
+
+
+def render_sarif(
+    findings: Iterable[Finding],
+    *,
+    baseline: Baseline | None = None,
+    indent: int | None = 2,
+) -> str:
+    """Render *findings* as a SARIF 2.1.0 JSON document (a string)."""
+    catalog = _merged_catalog()
+    findings = list(findings)
+    for finding in findings:
+        if finding.rule not in catalog:
+            catalog[finding.rule] = _FALLBACK_RULES.get(
+                finding.rule, (Severity.ERROR, "unknown rule")
+            )
+    rule_ids = sorted(catalog)
+    rule_index = {rule_id: index for index, rule_id in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": catalog[rule_id][1] or rule_id},
+            "defaultConfiguration": {"level": catalog[rule_id][0]},
+        }
+        for rule_id in rule_ids
+    ]
+    known = frozenset(baseline.entries) if baseline is not None else frozenset()
+    results = []
+    for finding in findings:
+        result: dict[str, object] = {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": finding.severity,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "sieslintFingerprint/v1": finding.fingerprint,
+            },
+        }
+        if finding.fingerprint in known:
+            result["suppressions"] = [
+                {"kind": "external", "justification": "baselined finding"}
+            ]
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "sieslint",
+                        "informationUri": "https://example.invalid/sieslint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(document, indent=indent, sort_keys=False)

@@ -1,0 +1,238 @@
+"""Interprocedural secret-flow: SL001 across call boundaries.
+
+The per-file SL001 checker flags a secret-named identifier *directly*
+inside a sink (``print(master_key)``).  What it cannot see is the flow
+the cluster refactors made common: the secret crosses a function call
+first —
+
+* a helper leaks its parameter: ``def show(value): print(value)`` and
+  somewhere else ``show(master_key)``;
+* a getter launders the name: ``def session_key(): return self._key``
+  and somewhere else ``print(session_key())``;
+* both, chained through any number of project-internal calls and module
+  boundaries.
+
+This pass computes two summaries over the
+:class:`~repro.analysis.project.ProjectModel` call graph by fixpoint:
+
+``leaky_params[F]``
+    parameters of ``F`` that reach a print/logging sink, either
+    directly in ``F``'s body or by being forwarded into a leaky
+    parameter of another project function;
+
+``returns_secret[F]``
+    ``F`` returns secret-named material, directly or by returning the
+    result of another secret-returning project function.
+
+Findings fire at the *call site* — the place a secret-named value (or a
+secret-returning call) is handed to a leaky parameter, or a
+secret-returning call appears inside a sink argument.  Sites the
+resolver cannot explain simply end the chain: the analysis prefers
+missed flows over false edges.  The intra-file rule remains registered
+and unchanged — it is the fast path, and the two report disjoint
+shapes (names in sinks vs. flows through calls), so nothing is
+double-counted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Severity
+from repro.analysis.project import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+    ProjectRule,
+    register_project_rule,
+)
+from repro.analysis.rules.secret_flow import _SAFE_DERIVATIONS, is_secret_name, sink_name
+
+__all__ = ["InterproceduralSecretFlowRule"]
+
+
+def _names_in(expr: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    """Yield (node, identifier) for names in *expr*, pruning safe derivations.
+
+    Mirrors the intra-file rule's tainting walk: subtrees under
+    ``len(...)``/``.bit_length()``-style calls never taint, because
+    leaking a secret's *size* is documented, paper-visible behaviour.
+    """
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Call):
+            callee = node.func
+            callee_name = (
+                callee.id if isinstance(callee, ast.Name)
+                else callee.attr if isinstance(callee, ast.Attribute)
+                else None
+            )
+            if callee_name in _SAFE_DERIVATIONS:
+                continue
+        if isinstance(node, ast.Name):
+            yield node, node.id
+        elif isinstance(node, ast.Attribute):
+            yield node, node.attr
+            stack.append(node.value)
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _calls_in(expr: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@register_project_rule
+class InterproceduralSecretFlowRule(ProjectRule):
+    """SL001, the project-wide half: taint through calls and returns."""
+
+    rule_id = "SL001"
+    severity = Severity.ERROR
+    description = (
+        "secret-named values must not reach print/logging through "
+        "function calls, returns, or module boundaries (interprocedural)"
+    )
+
+    def run(self, model: ProjectModel) -> None:
+        leaky_params = self._solve_leaky_params(model)
+        returns_secret = self._solve_returns_secret(model)
+        for info in model.modules.values():
+            self._report_module(model, info, leaky_params, returns_secret)
+
+    # -- summaries -----------------------------------------------------
+
+    def _solve_leaky_params(self, model: ProjectModel) -> dict[str, frozenset[str]]:
+        """Fixpoint: which parameters of each function reach a sink."""
+        leaky: dict[str, set[str]] = {}
+        for func in model.iter_functions():
+            params = set(func.params)
+            direct: set[str] = set()
+            for call in _calls_in(func.node):
+                if sink_name(call) is None:
+                    continue
+                for arg in [*call.args, *(kw.value for kw in call.keywords)]:
+                    for _, name in _names_in(arg):
+                        if name in params:
+                            direct.add(name)
+            leaky[func.qualname] = direct
+        changed = True
+        while changed:
+            changed = False
+            for func in model.iter_functions():
+                info = model.modules.get(func.module)
+                if info is None:
+                    continue
+                params = set(func.params)
+                mine = leaky[func.qualname]
+                for call in _calls_in(func.node):
+                    callee = model.resolve_call(info, call)
+                    if callee is None:
+                        continue
+                    callee_leaky = leaky.get(callee.qualname, set())
+                    for param_name, arg in model.map_arguments(call, callee):
+                        if param_name not in callee_leaky:
+                            continue
+                        for _, name in _names_in(arg):
+                            if name in params and name not in mine:
+                                mine.add(name)
+                                changed = True
+        return {qualname: frozenset(names) for qualname, names in leaky.items()}
+
+    def _solve_returns_secret(self, model: ProjectModel) -> frozenset[str]:
+        """Fixpoint: which functions return secret-named material."""
+        secret: set[str] = set()
+        for func in model.iter_functions():
+            for node in ast.walk(func.node):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    if any(is_secret_name(name) for _, name in _names_in(node.value)):
+                        secret.add(func.qualname)
+                        break
+        changed = True
+        while changed:
+            changed = False
+            for func in model.iter_functions():
+                if func.qualname in secret:
+                    continue
+                info = model.modules.get(func.module)
+                if info is None:
+                    continue
+                for node in ast.walk(func.node):
+                    if not (isinstance(node, ast.Return) and node.value is not None):
+                        continue
+                    for call in _calls_in(node.value):
+                        callee = model.resolve_call(info, call)
+                        if callee is not None and callee.qualname in secret:
+                            secret.add(func.qualname)
+                            changed = True
+                            break
+                    if func.qualname in secret:
+                        break
+        return frozenset(secret)
+
+    # -- reporting -----------------------------------------------------
+
+    def _report_module(
+        self,
+        model: ProjectModel,
+        info: ModuleInfo,
+        leaky_params: dict[str, frozenset[str]],
+        returns_secret: frozenset[str],
+    ) -> None:
+        for call in _calls_in(info.tree):
+            sink = sink_name(call)
+            if sink is not None:
+                # A secret-returning call feeding a sink directly:
+                # print(session_key()).  (Secret *names* in sinks are
+                # the intra-file rule's finding, not ours.)
+                for arg in [*call.args, *(kw.value for kw in call.keywords)]:
+                    self._check_sink_argument(model, info, arg, sink, returns_secret)
+                continue
+            callee = model.resolve_call(info, call)
+            if callee is None:
+                continue
+            callee_leaky = leaky_params.get(callee.qualname, frozenset())
+            for param_name, arg in model.map_arguments(call, callee):
+                if param_name not in callee_leaky:
+                    continue
+                for node, name in _names_in(arg):
+                    if is_secret_name(name):
+                        self.report(
+                            info,
+                            node,
+                            f"secret-named value {name!r} flows into parameter "
+                            f"{param_name!r} of {callee.qualname}(), which reaches "
+                            "print/logging (interprocedural secret-flow)",
+                        )
+                for inner in _calls_in(arg):
+                    inner_callee = model.resolve_call(info, inner)
+                    if inner_callee is not None and inner_callee.qualname in returns_secret:
+                        self.report(
+                            info,
+                            inner,
+                            f"result of {inner_callee.qualname}(), which returns "
+                            f"secret material, flows into parameter {param_name!r} "
+                            f"of {callee.qualname}(), which reaches print/logging",
+                        )
+
+    def _check_sink_argument(
+        self,
+        model: ProjectModel,
+        info: ModuleInfo,
+        arg: ast.expr,
+        sink: str,
+        returns_secret: frozenset[str],
+    ) -> None:
+        for call in _calls_in(arg):
+            callee = model.resolve_call(info, call)
+            if callee is not None and callee.qualname in returns_secret:
+                self.report(
+                    info,
+                    call,
+                    f"result of {callee.qualname}(), which returns secret "
+                    f"material, flows into {sink}; log a length or "
+                    "fingerprint instead",
+                )

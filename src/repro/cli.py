@@ -18,8 +18,12 @@ Commands
 ``bounds``     print the Theorem 1–4 security bounds for a parameter set;
 ``info``       print the build's protocol registry: names, frame-header
                wire ids and the wire-format version;
-``lint``       run sieslint, the AST-based invariant checker (SL001–SL005),
-               over source trees; non-zero exit on non-baselined findings.
+``lint``       run sieslint, the AST-based invariant checker (per-file
+               rules SL001–SL009 plus the project-wide interprocedural
+               secret-flow and SL010 wire-contract passes), over source
+               trees; non-zero exit on non-baselined findings.  Supports
+               parallel analysis (``--jobs``) and SARIF 2.1.0 output
+               (``--sarif`` / ``--sarif-file``) for CI annotations.
 
 Examples::
 
@@ -152,7 +156,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--update-baseline", action="store_true",
                         help="snapshot current findings into the baseline and exit 0")
     lint_p.add_argument("--list-rules", action="store_true",
-                        help="print the rule catalog and exit")
+                        help="print the rule catalog and exit (honors --json)")
+    lint_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="analyse files in N parallel processes "
+                             "(0 = one per CPU; default: serial)")
+    lint_p.add_argument("--no-project", action="store_true",
+                        help="skip the project-wide passes (interprocedural "
+                             "secret-flow, SL010 wire contract)")
+    lint_p.add_argument("--sarif", action="store_true",
+                        help="emit a SARIF 2.1.0 document instead of text/JSON")
+    lint_p.add_argument("--sarif-file", default=None, metavar="PATH",
+                        help="also write a SARIF 2.1.0 document to PATH "
+                             "(keeps the text report on stdout)")
     return parser
 
 
@@ -417,26 +432,40 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as json_module
     from pathlib import Path
 
     from repro.analysis import (
         Baseline,
         Severity,
         filter_new_findings,
-        lint_paths,
+        full_rule_catalog,
+        lint_project,
         render_json,
+        render_sarif,
         render_text,
-        rule_catalog,
     )
     from repro.analysis.baseline import DEFAULT_BASELINE_NAME
 
     if args.list_rules:
-        for rule_id, (severity, description) in rule_catalog().items():
-            print(f"{rule_id} [{severity}] {description}")
+        catalog = full_rule_catalog()
+        if args.json:
+            print(json_module.dumps(
+                {
+                    rule_id: {"severity": severity, "description": description}
+                    for rule_id, (severity, description) in catalog.items()
+                },
+                indent=2,
+            ))
+        else:
+            for rule_id, (severity, description) in catalog.items():
+                print(f"{rule_id} [{severity}] {description}")
         return 0
 
     rules = [r.strip() for r in args.rules.split(",")] if args.rules else None
-    findings = lint_paths(args.paths, rules=rules)
+    findings = lint_project(
+        args.paths, rules=rules, jobs=args.jobs, project=not args.no_project
+    )
 
     baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
     if args.update_baseline:
@@ -449,7 +478,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         baseline = Baseline.load(baseline_path)
     new, grandfathered = filter_new_findings(findings, baseline)
 
-    print(render_json(new, grandfathered) if args.json else render_text(new, grandfathered))
+    if args.sarif_file:
+        Path(args.sarif_file).write_text(
+            render_sarif(findings, baseline=baseline) + "\n", encoding="utf-8"
+        )
+    if args.sarif:
+        print(render_sarif(findings, baseline=baseline))
+    else:
+        print(render_json(new, grandfathered) if args.json
+              else render_text(new, grandfathered))
     return 1 if any(f.severity == Severity.ERROR for f in new) else 0
 
 

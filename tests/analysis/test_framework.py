@@ -17,7 +17,20 @@ def lint(code: str, module: str = "repro.somewhere", **kwargs) -> list:
 
 
 def test_all_builtin_rules_registered() -> None:
-    assert available_rules() == ("SL001", "SL002", "SL003", "SL004", "SL005", "SL006")
+    assert available_rules() == (
+        "SL001", "SL002", "SL003", "SL004", "SL005", "SL006",
+        "SL007", "SL008", "SL009",
+    )
+
+
+def test_project_rules_registered() -> None:
+    from repro.analysis import available_project_rules, full_rule_catalog
+
+    assert available_project_rules() == ("SL001", "SL010")
+    assert tuple(full_rule_catalog()) == (
+        "SL001", "SL002", "SL003", "SL004", "SL005", "SL006",
+        "SL007", "SL008", "SL009", "SL010",
+    )
 
 
 def test_rule_catalog_has_severity_and_description() -> None:

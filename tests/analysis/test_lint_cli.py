@@ -94,3 +94,88 @@ def test_explicit_baseline_path(tmp_path, capsys, monkeypatch) -> None:
     assert custom.exists()
     capsys.readouterr()
     assert main(["lint", str(bad), "--baseline", str(custom)]) == 0
+
+
+def test_lint_full_tree_is_clean(capsys, monkeypatch) -> None:
+    """Acceptance: tests and benchmarks lint clean under the relaxed profile."""
+    monkeypatch.chdir(ROOT)
+    assert main(["lint", "src", "tests", "benchmarks"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_lint_jobs_matches_serial(capsys, monkeypatch) -> None:
+    monkeypatch.chdir(ROOT)
+    assert main(["lint", "src/repro/analysis", "--json"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["lint", "src/repro/analysis", "--json", "--jobs", "2"]) == 0
+    assert capsys.readouterr().out == serial
+
+
+def test_lint_jobs_rejects_negative(capsys, monkeypatch, tmp_path) -> None:
+    import pytest
+
+    from repro.errors import ParameterError
+
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    with pytest.raises(ParameterError, match="--jobs"):
+        main(["lint", str(tmp_path), "--jobs", "-3"])
+
+
+def test_lint_sarif_stdout(tmp_path, capsys, monkeypatch) -> None:
+    monkeypatch.chdir(tmp_path)
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nnow = time.time()\n")
+    assert main(["lint", str(bad), "--sarif"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    results = document["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["SL002"]
+
+
+def test_lint_sarif_file_keeps_text_report(tmp_path, capsys, monkeypatch) -> None:
+    """One CI invocation: text gate on stdout, SARIF artifact on disk."""
+    monkeypatch.chdir(tmp_path)
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nnow = time.time()\n")
+    sarif_path = tmp_path / "out.sarif"
+    assert main(["lint", str(bad), "--sarif-file", str(sarif_path)]) == 1
+    out = capsys.readouterr().out
+    assert "1 error(s)" in out  # the text report, not JSON
+    document = json.loads(sarif_path.read_text())
+    assert document["runs"][0]["results"][0]["ruleId"] == "SL002"
+
+
+def test_lint_no_project_skips_project_pass(tmp_path, capsys, monkeypatch) -> None:
+    monkeypatch.chdir(tmp_path)
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "rogue.py").write_text(
+        "from repro.protocols.registry import register_wire_protocol_id\n"
+        "ID = register_wire_protocol_id('rogue', 240)\n"
+    )
+    assert main(["lint", str(tmp_path)]) == 1
+    assert "SL010" in capsys.readouterr().out
+    assert main(["lint", str(tmp_path), "--no-project"]) == 0
+
+
+def test_list_rules_json_matches_docs_catalog(capsys) -> None:
+    """The --list-rules --json snapshot: catalog == docs/static_analysis.md."""
+    import re
+
+    assert main(["lint", "--list-rules", "--json"]) == 0
+    catalog = json.loads(capsys.readouterr().out)
+
+    assert list(catalog) == [f"SL{n:03d}" for n in range(1, 11)]
+    for entry in catalog.values():
+        assert entry["severity"] in ("error", "warning")
+        assert len(entry["description"]) > 20
+
+    documented = re.findall(
+        r"^### (SL\d{3}) `[\w-]+` \((error|warning)\)$",
+        (ROOT / "docs" / "static_analysis.md").read_text(encoding="utf-8"),
+        flags=re.MULTILINE,
+    )
+    assert {rule_id: severity for rule_id, severity in documented} == {
+        rule_id: entry["severity"] for rule_id, entry in catalog.items()
+    }

@@ -1,0 +1,114 @@
+"""Pragma placement: decorator lines and multi-line statements.
+
+Regression tests for two historical gaps: a ``# sieslint: disable=``
+comment on a decorator line did not suppress findings inside the
+decorated body (the decorator sits *above* ``def``, so plain line
+matching missed it), and a finding on an interior line of a multi-line
+statement could only be suppressed on that exact physical line.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def lint(code: str) -> list:
+    return lint_source(
+        textwrap.dedent(code), "src/repro/somewhere.py", module="repro.somewhere"
+    )
+
+
+class TestDecoratorLinePragmas:
+    def test_pragma_on_decorator_covers_decorated_body(self) -> None:
+        assert lint("""
+        import functools
+        import time
+
+        @functools.cache  # sieslint: disable=SL002
+        def wall_clock_probe():
+            return time.time()
+        """) == []
+
+    def test_pragma_on_decorator_covers_decorated_class(self) -> None:
+        assert lint("""
+        import dataclasses
+        import time
+
+        @dataclasses.dataclass  # sieslint: disable=SL002
+        class Probe:
+            def now(self):
+                return time.time()
+        """) == []
+
+    def test_pragma_on_decorator_is_scoped_to_that_definition(self) -> None:
+        findings = lint("""
+        import functools
+        import time
+
+        @functools.cache  # sieslint: disable=SL002
+        def allowed():
+            return time.time()
+
+        def not_allowed():
+            return time.time()
+        """)
+        assert [f.rule for f in findings] == ["SL002"]
+        assert "not_allowed" not in findings[0].snippet  # finding is on the call line
+        assert findings[0].line > 8
+
+    def test_pragma_on_decorator_only_disables_listed_rules(self) -> None:
+        findings = lint("""
+        import functools
+        import time
+
+        @functools.cache  # sieslint: disable=SL004
+        def probe():
+            return time.time()
+        """)
+        assert [f.rule for f in findings] == ["SL002"]
+
+
+class TestMultiLineStatementPragmas:
+    def test_pragma_on_first_line_of_multiline_call(self) -> None:
+        assert lint("""
+        import time
+
+        stamp = max(  # sieslint: disable=SL002
+            0.0,
+            time.time(),
+        )
+        """) == []
+
+    def test_pragma_on_closing_line_of_multiline_call(self) -> None:
+        assert lint("""
+        import time
+
+        stamp = max(
+            0.0,
+            time.time(),
+        )  # sieslint: disable=SL002
+        """) == []
+
+    def test_interior_line_pragma_still_works(self) -> None:
+        assert lint("""
+        import time
+
+        stamp = max(
+            0.0,
+            time.time(),  # sieslint: disable=SL002
+        )
+        """) == []
+
+    def test_pragma_on_unrelated_line_does_not_suppress(self) -> None:
+        findings = lint("""
+        import time
+
+        limit = 3  # sieslint: disable=SL002
+        stamp = max(
+            0.0,
+            time.time(),
+        )
+        """)
+        assert [f.rule for f in findings] == ["SL002"]

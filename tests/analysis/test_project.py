@@ -1,0 +1,336 @@
+"""Project-wide analysis: the model, interprocedural SL001, and SL010.
+
+These tests build small on-disk trees (``tmp_path/repro/...`` so module
+names resolve under the ``repro`` package root) and run the project
+pass over them — the same driver ``repro lint`` uses.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_project
+from repro.analysis.project import ProjectModel, run_project_rules
+from repro.errors import ParameterError
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    for relative, code in files.items():
+        path = root / "repro" / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(code), encoding="utf-8")
+    return root
+
+
+def project_findings(root: Path, rules: list[str]):
+    return lint_project([root], rules=rules)
+
+
+# ----------------------------------------------------------------------
+# The model itself
+
+
+class TestProjectModel:
+    def test_symbols_import_graph_and_resolution(self, tmp_path) -> None:
+        write_tree(tmp_path, {
+            "util.py": """
+            def helper(value):
+                return value
+            """,
+            "main.py": """
+            from repro.util import helper
+
+            class Engine:
+                def run(self, x):
+                    return self.step(helper(x))
+
+                def step(self, x):
+                    return x
+            """,
+        })
+        model = ProjectModel.build(sorted((tmp_path / "repro").rglob("*.py")))
+        assert "repro.util.helper" in model.functions
+        assert "repro.main.Engine.run" in model.functions
+        assert model.functions["repro.main.Engine.run"].is_method
+        assert "repro.util.helper" in model.imports_of("repro.main")
+
+        main = model.modules["repro.main"]
+        import ast
+
+        calls = [n for n in ast.walk(main.tree) if isinstance(n, ast.Call)]
+        resolved = {model.resolve_call(main, c).qualname
+                    for c in calls if model.resolve_call(main, c) is not None}
+        assert resolved == {"repro.util.helper", "repro.main.Engine.step"}
+
+    def test_map_arguments_binds_positionals_and_keywords(self, tmp_path) -> None:
+        write_tree(tmp_path, {
+            "util.py": """
+            def helper(first, second, third=None):
+                return first
+            """,
+            "main.py": """
+            from repro.util import helper
+
+            def go():
+                return helper(1, third=3)
+            """,
+        })
+        model = ProjectModel.build(sorted((tmp_path / "repro").rglob("*.py")))
+        main = model.modules["repro.main"]
+        import ast
+
+        call = next(n for n in ast.walk(main.tree) if isinstance(n, ast.Call))
+        callee = model.resolve_call(main, call)
+        assert [name for name, _ in model.map_arguments(call, callee)] == ["first", "third"]
+
+    def test_syntax_error_files_are_skipped(self, tmp_path) -> None:
+        write_tree(tmp_path, {"bad.py": "def broken(:\n", "ok.py": "x = 1\n"})
+        model = ProjectModel.build(sorted((tmp_path / "repro").rglob("*.py")))
+        assert set(model.modules) == {"repro.ok"}
+
+    def test_unknown_rule_selection_rejected(self, tmp_path) -> None:
+        write_tree(tmp_path, {"ok.py": "x = 1\n"})
+        with pytest.raises(ParameterError, match="unknown"):
+            lint_project([tmp_path], rules=["SL999"])
+        with pytest.raises(ParameterError, match="unknown"):
+            run_project_rules([tmp_path / "repro" / "ok.py"], rules=["SL999"])
+
+
+# ----------------------------------------------------------------------
+# Interprocedural SL001
+
+
+class TestInterproceduralSecretFlow:
+    def test_positive_secret_into_leaky_helper_across_modules(self, tmp_path) -> None:
+        write_tree(tmp_path, {
+            "log_util.py": """
+            def show(value):
+                print("value:", value)
+            """,
+            "user.py": """
+            from repro.log_util import show
+
+            def audit(master_key):
+                show(master_key)
+            """,
+        })
+        findings = project_findings(tmp_path, ["SL001"])
+        assert [f.rule for f in findings] == ["SL001"]
+        assert findings[0].path.endswith("user.py")
+        assert "master_key" in findings[0].message
+        assert "repro.log_util.show" in findings[0].message
+
+    def test_positive_secret_returning_call_into_sink(self, tmp_path) -> None:
+        write_tree(tmp_path, {
+            "vault.py": """
+            _MASTER_KEY = b"\\x00"
+
+            def material():
+                return _inner()
+
+            def _inner():
+                return _MASTER_KEY
+            """,
+            "main.py": """
+            from repro.vault import material
+
+            def debug():
+                print(material())
+            """,
+        })
+        findings = project_findings(tmp_path, ["SL001"])
+        assert [f.rule for f in findings] == ["SL001"]
+        assert findings[0].path.endswith("main.py")
+        assert "returns secret" in findings[0].message
+
+    def test_positive_transitive_forwarding_chain(self, tmp_path) -> None:
+        write_tree(tmp_path, {
+            "sinks.py": """
+            def emit(payload):
+                print(payload)
+
+            def relay(item):
+                emit(item)
+            """,
+            "caller.py": """
+            from repro.sinks import relay
+
+            def handle(seed_material):
+                relay(seed_material)
+            """,
+        })
+        findings = project_findings(tmp_path, ["SL001"])
+        assert [f.rule for f in findings] == ["SL001"]
+        assert findings[0].path.endswith("caller.py")
+
+    def test_negative_non_secret_argument(self, tmp_path) -> None:
+        write_tree(tmp_path, {
+            "log_util.py": """
+            def show(value):
+                print("value:", value)
+            """,
+            "user.py": """
+            from repro.log_util import show
+
+            def audit(share_count):
+                show(share_count)
+            """,
+        })
+        assert project_findings(tmp_path, ["SL001"]) == []
+
+    def test_negative_safe_derivation_is_not_tainted(self, tmp_path) -> None:
+        write_tree(tmp_path, {
+            "log_util.py": """
+            def show(value):
+                print("value:", value)
+            """,
+            "user.py": """
+            from repro.log_util import show
+
+            def audit(master_key):
+                show(len(master_key))
+            """,
+        })
+        assert project_findings(tmp_path, ["SL001"]) == []
+
+    def test_negative_callee_does_not_leak(self, tmp_path) -> None:
+        write_tree(tmp_path, {
+            "store.py": """
+            def stash(value):
+                return [value]
+            """,
+            "user.py": """
+            from repro.store import stash
+
+            def keep(master_key):
+                return stash(master_key)
+            """,
+        })
+        assert project_findings(tmp_path, ["SL001"]) == []
+
+
+# ----------------------------------------------------------------------
+# SL010 wire contract
+
+
+class TestWireContract:
+    def test_positive_duplicate_wire_id_across_modules(self, tmp_path) -> None:
+        write_tree(tmp_path, {
+            "codec_a.py": """
+            from repro.protocols.registry import register_wire_protocol_id
+
+            PROTO_A = register_wire_protocol_id("proto_a", 7)
+            """,
+            "codec_b.py": """
+            from repro.protocols.registry import register_wire_protocol_id
+
+            PROTO_B = register_wire_protocol_id("proto_b", 7)
+            """,
+        })
+        findings = project_findings(tmp_path, ["SL010"])
+        assert [f.rule for f in findings] == ["SL010", "SL010"]
+        assert {Path(f.path).name for f in findings} == {"codec_a.py", "codec_b.py"}
+        assert all("claimed by multiple protocols" in f.message for f in findings)
+
+    def test_positive_control_envelope_id_stolen(self, tmp_path) -> None:
+        write_tree(tmp_path, {
+            "rogue.py": """
+            from repro.protocols.registry import register_wire_protocol_id
+
+            SNEAKY = register_wire_protocol_id("rogue", 240)
+            """,
+        })
+        findings = project_findings(tmp_path, ["SL010"])
+        assert [f.rule for f in findings] == ["SL010"]
+        assert "control-envelope" in findings[0].message
+
+    def test_positive_out_of_range_id(self, tmp_path) -> None:
+        write_tree(tmp_path, {
+            "rogue.py": """
+            from repro.protocols.registry import register_wire_protocol_id
+
+            TOO_BIG = register_wire_protocol_id("rogue", 300)
+            """,
+        })
+        findings = project_findings(tmp_path, ["SL010"])
+        assert [f.rule for f in findings] == ["SL010"]
+        assert "[1, 255]" in findings[0].message
+
+    def test_positive_codec_missing_decode(self, tmp_path) -> None:
+        write_tree(tmp_path, {
+            "half_codec.py": """
+            from repro.wire.codec import PSRCodec
+            from repro.protocols.registry import register_wire_protocol_id
+
+            class HalfCodec(PSRCodec):
+                protocol_id = register_wire_protocol_id("half", 9)
+                protocol_name = "half"
+
+                def encode_payload(self, psr):
+                    return b""
+            """,
+        })
+        findings = project_findings(tmp_path, ["SL010"])
+        assert [f.rule for f in findings] == ["SL010"]
+        assert "decode_payload" in findings[0].message
+
+    def test_positive_registered_protocol_without_codec(self, tmp_path) -> None:
+        write_tree(tmp_path, {
+            "facade.py": """
+            from repro.protocols.registry import register_protocol
+
+            register_protocol("ghost", object)
+            """,
+        })
+        findings = project_findings(tmp_path, ["SL010"])
+        assert [f.rule for f in findings] == ["SL010"]
+        assert "no PSRCodec" in findings[0].message
+
+    def test_negative_complete_contract(self, tmp_path) -> None:
+        write_tree(tmp_path, {
+            "good.py": """
+            from repro.wire.codec import PSRCodec
+            from repro.protocols.registry import register_protocol, register_wire_protocol_id
+
+            class GoodCodec(PSRCodec):
+                protocol_id = register_wire_protocol_id("good", 7)
+                protocol_name = "good"
+
+                def encode_payload(self, psr):
+                    return b""
+
+                def decode_payload(self, payload, epoch):
+                    return None
+
+            register_protocol("good", object)
+            """,
+        })
+        assert project_findings(tmp_path, ["SL010"]) == []
+
+    def test_negative_envelope_module_owns_control_ids(self, tmp_path) -> None:
+        write_tree(tmp_path, {
+            "cluster/envelope.py": """
+            from repro.protocols.registry import register_wire_protocol_id
+
+            DATA = register_wire_protocol_id("cluster/data", 240)
+            ACK = register_wire_protocol_id("cluster/ack", 241)
+            """,
+        })
+        assert project_findings(tmp_path, ["SL010"]) == []
+
+    def test_negative_relaxed_modules_are_out_of_scope(self, tmp_path) -> None:
+        # Test suites register throwaway aliases; SL010 must not care.
+        path = tmp_path / "tests" / "test_alias.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(textwrap.dedent("""
+            from repro.protocols.registry import register_protocol
+
+            register_protocol("sies_alias_for_test", object)
+        """), encoding="utf-8")
+        assert project_findings(tmp_path, ["SL010"]) == []
+
+    def test_real_tree_satisfies_the_contract(self) -> None:
+        assert lint_project(["src"], rules=["SL010"]) == []

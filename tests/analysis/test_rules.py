@@ -457,3 +457,220 @@ class TestGuardMutations:
             path="src/repro/runtime/events.py",
         )
         assert rules_of(findings) == {"SL002"}
+
+
+# ----------------------------------------------------------------------
+# SL007 asyncio tasks
+
+
+class TestAsyncioTasks:
+    def test_positive_dropped_create_task(self) -> None:
+        findings = lint("""
+        import asyncio
+
+        async def start(loop):
+            asyncio.create_task(loop())
+        """)
+        assert rules_of(findings) == {"SL007"}
+        assert "create_task" in findings[0].message
+
+    def test_positive_dropped_ensure_future(self) -> None:
+        findings = lint("""
+        import asyncio
+
+        async def start(handler):
+            asyncio.ensure_future(handler())
+        """)
+        assert rules_of(findings) == {"SL007"}
+
+    def test_positive_unawaited_local_coroutine(self) -> None:
+        findings = lint("""
+        async def send_psr(value):
+            return value
+
+        async def run_epoch():
+            send_psr(41)
+        """)
+        assert rules_of(findings) == {"SL007"}
+        assert "without await" in findings[0].message
+
+    def test_positive_unawaited_self_method(self) -> None:
+        findings = lint("""
+        class Node:
+            async def flush(self):
+                return None
+
+            async def stop(self):
+                self.flush()
+        """)
+        assert rules_of(findings) == {"SL007"}
+
+    def test_negative_stored_task_handle(self) -> None:
+        assert lint("""
+        import asyncio
+
+        class Node:
+            async def start(self, loop):
+                self._task = asyncio.ensure_future(loop())
+        """) == []
+
+    def test_negative_awaited_coroutine_and_gather(self) -> None:
+        assert lint("""
+        import asyncio
+
+        async def send_psr(value):
+            return value
+
+        async def run_epoch():
+            await send_psr(41)
+            await asyncio.gather(send_psr(1), send_psr(2))
+        """) == []
+
+    def test_negative_sync_method_call(self) -> None:
+        assert lint("""
+        class Node:
+            def bump(self):
+                return 1
+
+            async def run(self):
+                self.bump()
+        """) == []
+
+
+# ----------------------------------------------------------------------
+# SL008 blocking calls in async code
+
+
+class TestAsyncioBlocking:
+    def test_positive_time_sleep_in_async_def(self) -> None:
+        findings = lint("""
+        import asyncio
+        import time
+
+        async def backoff():
+            time.sleep(0.5)
+        """)
+        assert rules_of(findings) == {"SL008"}
+        assert "time.sleep" in findings[0].message
+
+    def test_positive_aliased_sleep_import(self) -> None:
+        findings = lint("""
+        from time import sleep
+
+        async def backoff():
+            sleep(0.5)
+        """)
+        assert rules_of(findings) == {"SL008"}
+
+    def test_positive_subprocess_run_in_async_def(self) -> None:
+        findings = lint("""
+        import subprocess
+
+        async def probe(cmd):
+            subprocess.run(cmd)
+        """)
+        assert rules_of(findings) == {"SL008"}
+
+    def test_negative_sleep_in_sync_function(self) -> None:
+        assert lint("""
+        import time
+
+        def backoff():
+            time.sleep(0.5)
+        """) == []
+
+    def test_negative_asyncio_sleep(self) -> None:
+        assert lint("""
+        import asyncio
+
+        async def backoff():
+            await asyncio.sleep(0.5)
+        """) == []
+
+
+# ----------------------------------------------------------------------
+# SL009 shared state across await
+
+
+class TestSharedState:
+    def test_positive_augassign_across_await(self) -> None:
+        findings = lint("""
+        class Aggregator:
+            async def merge(self, child):
+                self.partial_sum += await child.fetch()
+        """)
+        assert rules_of(findings) == {"SL009"}
+        assert "partial_sum" in findings[0].message
+
+    def test_positive_reassignment_reading_stale_value(self) -> None:
+        findings = lint("""
+        class Aggregator:
+            async def merge(self, child):
+                self.total = self.total + await child.fetch()
+        """)
+        assert rules_of(findings) == {"SL009"}
+
+    def test_negative_fresh_assignment_from_await(self) -> None:
+        # The cluster substrate does this constantly: no stale read.
+        assert lint("""
+        import asyncio
+
+        class Node:
+            async def start(self):
+                self._server = await asyncio.start_server(lambda: None)
+        """) == []
+
+    def test_negative_guarded_by_lock(self) -> None:
+        assert lint("""
+        class Aggregator:
+            async def merge(self, child):
+                async with self._lock:
+                    self.partial_sum += await child.fetch()
+        """) == []
+
+    def test_negative_no_await_in_rmw(self) -> None:
+        assert lint("""
+        class Aggregator:
+            async def merge(self, delta):
+                self.partial_sum += delta
+        """) == []
+
+
+# ----------------------------------------------------------------------
+# Seeded mutations of the real cluster node (acceptance scenarios)
+
+
+class TestClusterMutations:
+    """Mutate src/repro/cluster/node.py the way the bugs would really land."""
+
+    @staticmethod
+    def _node_source() -> str:
+        from pathlib import Path
+
+        return Path("src/repro/cluster/node.py").read_text(encoding="utf-8")
+
+    def _lint_node(self, source: str):
+        from repro.analysis import lint_source
+
+        return lint_source(source, "src/repro/cluster/node.py", module="repro.cluster.node")
+
+    def test_pristine_node_is_clean(self) -> None:
+        assert self._lint_node(self._node_source()) == []
+
+    def test_dropped_ack_task_handle_flagged(self) -> None:
+        original = "self._ack_task = asyncio.ensure_future(self._ack_loop(FrameReader(reader)))"
+        assert original in self._node_source()
+        mutated = self._node_source().replace(
+            original, "asyncio.ensure_future(self._ack_loop(FrameReader(reader)))"
+        )
+        findings = self._lint_node(mutated)
+        assert "SL007" in rules_of(findings)
+
+    def test_time_sleep_in_async_path_flagged(self) -> None:
+        original = "await self._ack_task"
+        assert original in self._node_source()
+        mutated = "import time\n" + self._node_source().replace(
+            original, "time.sleep(0.1)"
+        )
+        findings = self._lint_node(mutated)
+        assert "SL008" in rules_of(findings)

@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 renderer: structural conformance and fingerprint carry.
+
+No network and no jsonschema package in the test image, so conformance
+is asserted structurally against the parts of the 2.1.0 schema GitHub
+code scanning actually validates: version/$schema, the tool.driver rule
+array, result ↔ rule index consistency, and 1-based region columns.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis import Baseline, lint_source, render_sarif
+from repro.analysis.sarif import SARIF_SCHEMA, SARIF_VERSION
+
+
+def findings_fixture():
+    code = textwrap.dedent("""
+    import time
+
+    def probe(master_key):
+        print(master_key)
+        return time.time()
+    """)
+    return lint_source(code, "src/repro/probe.py", module="repro.probe")
+
+
+def test_document_skeleton() -> None:
+    document = json.loads(render_sarif(findings_fixture()))
+    assert document["version"] == SARIF_VERSION == "2.1.0"
+    assert document["$schema"] == SARIF_SCHEMA
+    assert len(document["runs"]) == 1
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "sieslint"
+    assert run["columnKind"] == "utf16CodeUnits"
+
+
+def test_rules_array_covers_catalog_and_results_index_into_it() -> None:
+    document = json.loads(render_sarif(findings_fixture()))
+    run = document["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    rule_ids = [rule["id"] for rule in rules]
+    assert rule_ids == sorted(rule_ids)
+    assert {"SL001", "SL002", "SL010"} <= set(rule_ids)
+    for rule in rules:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in ("error", "warning")
+    for result in run["results"]:
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+
+
+def test_results_carry_location_level_and_fingerprint() -> None:
+    findings = findings_fixture()
+    document = json.loads(render_sarif(findings))
+    results = document["runs"][0]["results"]
+    assert len(results) == len(findings) == 2
+    by_rule = {r["ruleId"]: r for r in results}
+    assert set(by_rule) == {"SL001", "SL002"}
+    for finding in findings:
+        result = by_rule[finding.rule]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/probe.py"
+        assert location["region"]["startLine"] == finding.line
+        assert location["region"]["startColumn"] == finding.col + 1 >= 1
+        assert result["level"] == finding.severity
+        assert result["message"]["text"] == finding.message
+        assert (
+            result["partialFingerprints"]["sieslintFingerprint/v1"]
+            == finding.fingerprint
+        )
+
+
+def test_baselined_findings_are_marked_suppressed() -> None:
+    findings = findings_fixture()
+    baseline = Baseline.from_findings([findings[0]])
+    document = json.loads(render_sarif(findings, baseline=baseline))
+    results = document["runs"][0]["results"]
+    suppressed = [r for r in results if "suppressions" in r]
+    assert len(suppressed) == 1
+    assert suppressed[0]["ruleId"] == findings[0].rule
+    assert suppressed[0]["suppressions"][0]["kind"] == "external"
+
+
+def test_syntax_error_finding_gets_fallback_rule_entry() -> None:
+    findings = lint_source("def broken(:\n", "src/repro/bad.py")
+    document = json.loads(render_sarif(findings))
+    run = document["runs"][0]
+    assert "SL000" in [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert run["results"][0]["ruleId"] == "SL000"
+
+
+def test_empty_findings_still_valid_document() -> None:
+    document = json.loads(render_sarif([]))
+    assert document["runs"][0]["results"] == []
+    assert document["runs"][0]["tool"]["driver"]["rules"]

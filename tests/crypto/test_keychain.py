@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
 from repro.crypto.hashes import get_hash
 from repro.crypto.keychain import OneWayKeyChain, verify_disclosed_key
 from repro.errors import ParameterError
+from repro.utils.rng import DeterministicRandom
+
+
+def _forged_bytes(label: str, length: int = 32) -> bytes:
+    """Deterministic garbage for forgery tests (seeded, replayable)."""
+    return DeterministicRandom(0xBAD, "forge", label).random_bytes(length)
 
 
 @pytest.fixture()
@@ -37,7 +41,7 @@ def test_verify_from_later_anchor(chain: OneWayKeyChain) -> None:
 
 
 def test_forged_keys_rejected(chain: OneWayKeyChain) -> None:
-    assert not verify_disclosed_key(os.urandom(32), 5, chain.commitment)
+    assert not verify_disclosed_key(_forged_bytes("disclosed-key"), 5, chain.commitment)
     # a later key presented as an earlier one must fail
     assert not verify_disclosed_key(chain.key(7), 5, chain.commitment)
 
@@ -56,7 +60,7 @@ def test_chain_exhaustion(chain: OneWayKeyChain) -> None:
 def test_chain_verify_method(chain: OneWayKeyChain) -> None:
     assert chain.verify(chain.key(4), 4)
     assert chain.verify(chain.key(8), 8, trusted_index=4, trusted_key=chain.key(4))
-    assert not chain.verify(os.urandom(32), 4)
+    assert not chain.verify(_forged_bytes("chain-key"), 4)
 
 
 def test_different_roots_give_different_chains() -> None:

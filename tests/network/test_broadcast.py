@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
 from repro.errors import AuthenticationError, ParameterError
 from repro.network.broadcast import MuTeslaBroadcaster, MuTeslaReceiver
+from repro.utils.rng import DeterministicRandom
+
+
+def _forged_bytes(label: str, length: int = 32) -> bytes:
+    """Deterministic garbage for forgery tests (seeded, replayable)."""
+    return DeterministicRandom(0xBAD, "forge", label).random_bytes(length)
 
 
 @pytest.fixture()
@@ -49,7 +53,7 @@ def test_security_condition_rejects_late_packets(pair) -> None:
 def test_forged_mac_rejected(pair) -> None:
     broadcaster, receiver = pair
     packet = broadcaster.broadcast(b"genuine", interval=4)
-    packet.mac = os.urandom(len(packet.mac))
+    packet.mac = _forged_bytes("mac", len(packet.mac))
     receiver.receive(packet, current_interval=4)
     assert receiver.on_key_disclosed(4, broadcaster.disclose(4)) == []
 
@@ -65,7 +69,7 @@ def test_forged_payload_rejected(pair) -> None:
 def test_forged_disclosed_key_raises(pair) -> None:
     broadcaster, receiver = pair
     with pytest.raises(AuthenticationError, match="chain check"):
-        receiver.on_key_disclosed(3, os.urandom(32))
+        receiver.on_key_disclosed(3, _forged_bytes("disclosed-key"))
 
 
 def test_out_of_order_disclosure_rejected(pair) -> None:

@@ -2,14 +2,18 @@
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
 from repro.errors import AuthenticationError
 from repro.queries.dissemination import QueryDisseminator, QueryListener
 from repro.queries.predicates import Comparison
 from repro.queries.query import AggregateKind, Query
+from repro.utils.rng import DeterministicRandom
+
+
+def _forged_bytes(label: str, length: int = 32) -> bytes:
+    """Deterministic garbage for forgery tests (seeded, replayable)."""
+    return DeterministicRandom(0xBAD, "forge", label).random_bytes(length)
 
 
 @pytest.fixture()
@@ -49,7 +53,7 @@ def test_forged_query_never_registers(deployment) -> None:
     """Theorem 3: querier impersonation fails at the sources."""
     disseminator, listener = deployment
     forged = disseminator.broadcast_query(QUERY, 4)
-    forged.mac = os.urandom(len(forged.mac))
+    forged.mac = _forged_bytes("mac", len(forged.mac))
     listener.receive(forged, current_epoch=4)
     assert listener.on_key_disclosed(4, disseminator.disclose_key(4)) == []
     assert listener.active_query is None
@@ -59,7 +63,7 @@ def test_forged_disclosed_key_raises(deployment) -> None:
     disseminator, listener = deployment
     listener.receive(disseminator.broadcast_query(QUERY, 4), current_epoch=4)
     with pytest.raises(AuthenticationError):
-        listener.on_key_disclosed(4, os.urandom(32))
+        listener.on_key_disclosed(4, _forged_bytes("disclosed-key"))
 
 
 def test_late_packet_dropped(deployment) -> None:

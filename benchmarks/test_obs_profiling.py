@@ -1,0 +1,122 @@
+"""Observability tax: what tracing and profiling cost the hot paths.
+
+The obs layer is strictly opt-in — no observer, no overhead — so this
+benchmark quantifies the two costs a user *does* pay when they turn it
+on:
+
+* the per-phase profiler's context-manager overhead around the codec
+  hot path (``ProfiledCodec`` vs the bare codec);
+* the per-event cost of feeding a :class:`TraceRecorder` through the
+  ``(kind, attrs)`` transport observer.
+
+It also surfaces the per-phase breakdown (encrypt / encode / decode /
+evaluate) of one SIES epoch through the unified registry — the
+"profiling hooks surfaced in benchmarks" deliverable.
+
+Run with::
+
+    PYTHONPATH=src pytest benchmarks/test_obs_profiling.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import SIESProtocol
+from repro.obs import MetricsRegistry, PhaseProfiler, ProfiledCodec, TraceRecorder
+
+SEED = 2011
+BATCH = 512
+EPOCH = 1
+
+
+@pytest.fixture(scope="module")
+def sies_frame():
+    protocol = SIESProtocol(64, seed=SEED)
+    codec = protocol.wire_codec()
+    psr = protocol.create_source(0).initialize(EPOCH, 1234)
+    return protocol, codec, psr, codec.encode(psr)
+
+
+def test_bare_codec_decode(benchmark, sies_frame) -> None:
+    _, codec, _, frame = sies_frame
+
+    def run():
+        for _ in range(BATCH):
+            codec.decode(frame)
+
+    benchmark(run)
+
+
+def test_profiled_codec_decode(benchmark, sies_frame) -> None:
+    """Same decode loop through ProfiledCodec: the profiler tax."""
+    _, codec, _, frame = sies_frame
+    profiler = PhaseProfiler()
+    profiled = ProfiledCodec(codec, profiler)
+
+    def run():
+        for _ in range(BATCH):
+            profiled.decode(frame)
+
+    benchmark(run)
+    snapshot = profiler.snapshot()
+    assert snapshot["decode"]["calls"] >= BATCH
+    benchmark.extra_info["profiled_decode_calls"] = snapshot["decode"]["calls"]
+
+
+def test_trace_recorder_event_rate(benchmark) -> None:
+    """Raw (kind, attrs) → ObsEvent recording throughput."""
+    recorder = TraceRecorder(substrate="runtime")
+    attrs = {
+        "time": 1.0, "epoch": EPOCH, "uid": 1, "attempt": 0,
+        "edge": "S-A", "sender": 0, "receiver": 8,
+    }
+
+    def run():
+        recorder.reset()
+        for _ in range(BATCH):
+            recorder.record(
+                "attempt",
+                epoch=attrs["epoch"], edge=attrs["edge"],
+                sender=attrs["sender"], receiver=attrs["receiver"],
+                time=attrs["time"], attempt=attrs["attempt"], uid=attrs["uid"],
+            )
+
+    benchmark(run)
+
+
+def test_sies_epoch_phase_breakdown(benchmark, sies_frame) -> None:
+    """One full SIES epoch with every phase timed and published."""
+    protocol, codec, _, _ = sies_frame
+    profiler = PhaseProfiler()
+    profiled = ProfiledCodec(codec, profiler)
+    sources = [protocol.create_source(i) for i in range(protocol.num_sources)]
+    aggregator = protocol.create_aggregator()
+    querier = protocol.create_querier()
+
+    epochs = iter(range(1, 100_000))
+
+    def run():
+        epoch = next(epochs)
+        psrs = []
+        with profiler.phase("encrypt"):
+            for sid, source in enumerate(sources):
+                psrs.append(source.initialize(epoch, 100 + sid))
+        frames = [profiled.encode(psr) for psr in psrs]
+        received = [profiled.decode(frame) for frame in frames]
+        with profiler.phase("combine"):
+            merged = aggregator.finalize_for_querier(aggregator.merge(epoch, received))
+        with profiler.phase("evaluate"):
+            result = querier.evaluate(epoch, merged)
+        assert result.verified
+
+    benchmark(run)
+    registry = MetricsRegistry()
+    profiler.publish(registry, substrate="benchmark")
+    snapshot = profiler.snapshot()
+    for phase in ("encrypt", "encode", "decode", "combine", "evaluate"):
+        assert snapshot[phase]["calls"] > 0
+        benchmark.extra_info[f"{phase}_seconds_per_epoch"] = (
+            snapshot[phase]["seconds"] / snapshot[phase]["calls"]
+        )
+    assert "sies_phase_seconds_total" in registry.render_prometheus()

@@ -24,6 +24,12 @@ Commands
                trees; non-zero exit on non-baselined findings.  Supports
                parallel analysis (``--jobs``) and SARIF 2.1.0 output
                (``--sarif`` / ``--sarif-file``) for CI annotations.
+``trace``      record a seeded run of any substrate as a unified
+               JSON-lines event trace (``repro.obs``), or replay a
+               recorded trace: filter by epoch/node/edge, reduce to the
+               seed-determined disposition slice, diff two traces;
+``metrics``    run a substrate and export its ledger through the unified
+               metrics registry as Prometheus text or JSON.
 
 Examples::
 
@@ -35,6 +41,9 @@ Examples::
     python -m repro.cli experiment fig5
     python -m repro.cli bounds --sources 1024 --share-bytes 8
     python -m repro.cli lint src --json
+    python -m repro.cli trace --substrate runtime --loss 0.2 --output run.jsonl
+    python -m repro.cli trace --input run.jsonl --epoch 3 --dispositions
+    python -m repro.cli metrics --substrate cluster --format prometheus
 """
 
 from __future__ import annotations
@@ -168,6 +177,50 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--sarif-file", default=None, metavar="PATH",
                         help="also write a SARIF 2.1.0 document to PATH "
                              "(keeps the text report on stdout)")
+
+    trace_p = sub.add_parser("trace", help="record, filter or diff unified event traces")
+    trace_p.add_argument("--substrate", default="runtime",
+                         choices=("network", "runtime", "cluster"),
+                         help="which substrate to record (ignored with --input)")
+    trace_p.add_argument("--input", default=None, metavar="PATH",
+                         help="read a recorded JSON-lines trace instead of running")
+    trace_p.add_argument("--output", default=None, metavar="PATH",
+                         help="write the trace as JSON-lines to PATH")
+    trace_p.add_argument("--epoch", type=int, default=None, help="only this epoch")
+    trace_p.add_argument("--node", type=int, default=None,
+                         help="only events this node sent or received")
+    trace_p.add_argument("--edge", default=None, choices=("S-A", "A-A", "A-Q"),
+                         help="only this edge class")
+    trace_p.add_argument("--dispositions", action="store_true",
+                         help="print the seed-determined disposition slice as JSON "
+                              "instead of raw events")
+    trace_p.add_argument("--diff", default=None, metavar="PATH",
+                         help="diff against another recorded trace on the determined "
+                              "slice; exit 1 on disagreement")
+    trace_p.add_argument("--sequential", action="store_true",
+                         help="runtime substrate: use the historical sequential fault "
+                              "streams instead of the cluster-comparable keyed oracle")
+    trace_p.add_argument("--protocol", default="sies", choices=sorted(available_protocols()))
+    trace_p.add_argument("--sources", type=int, default=16)
+    trace_p.add_argument("--fanout", type=int, default=4)
+    trace_p.add_argument("--epochs", type=int, default=5)
+    trace_p.add_argument("--loss", type=float, default=0.2)
+    trace_p.add_argument("--duplicate", type=float, default=0.0)
+    trace_p.add_argument("--scale", type=int, default=100)
+    trace_p.add_argument("--seed", type=int, default=2011)
+
+    metrics_p = sub.add_parser("metrics", help="export a run's ledger via the unified registry")
+    metrics_p.add_argument("--substrate", default="runtime",
+                           choices=("network", "runtime", "cluster"))
+    metrics_p.add_argument("--format", default="prometheus", choices=("prometheus", "json"))
+    metrics_p.add_argument("--protocol", default="sies", choices=sorted(available_protocols()))
+    metrics_p.add_argument("--sources", type=int, default=16)
+    metrics_p.add_argument("--fanout", type=int, default=4)
+    metrics_p.add_argument("--epochs", type=int, default=5)
+    metrics_p.add_argument("--loss", type=float, default=0.2)
+    metrics_p.add_argument("--duplicate", type=float, default=0.0)
+    metrics_p.add_argument("--scale", type=int, default=100)
+    metrics_p.add_argument("--seed", type=int, default=2011)
     return parser
 
 
@@ -490,6 +543,134 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if any(f.severity == Severity.ERROR for f in new) else 0
 
 
+def _run_observed(args: argparse.Namespace, recorder=None):
+    """Run the substrate named by ``args.substrate``, optionally traced.
+
+    Returns the run's native metrics object; when *recorder* is given,
+    the matching obs adapter feeds it during the run.
+    """
+    from repro.obs import ChannelTraceAdapter, TransportTraceAdapter
+
+    kwargs = {"seed": args.seed}
+    if args.protocol == "secoa_s":
+        kwargs["num_sketches"] = 50
+    protocol = create_protocol(args.protocol, args.sources, **kwargs)
+    workload = DomainScaledWorkload(args.sources, scale=args.scale, seed=args.seed)
+    tree = build_complete_tree(args.sources, args.fanout)
+
+    if args.substrate == "network":
+        simulator = NetworkSimulator(
+            protocol, tree, workload, SimulationConfig(num_epochs=args.epochs)
+        )
+        adapter = None
+        if recorder is not None:
+            adapter = ChannelTraceAdapter(recorder)
+            adapter.attach(simulator.channel)
+        try:
+            return simulator.run()
+        finally:
+            if adapter is not None:
+                adapter.detach()
+
+    from repro.runtime import FaultPlan, LinkProfile
+
+    plan = FaultPlan(
+        default_profile=LinkProfile(loss_rate=args.loss, duplicate_rate=args.duplicate)
+    )
+    if args.substrate == "runtime":
+        from repro.runtime import RuntimeConfig, RuntimeSimulator
+
+        config = RuntimeConfig(
+            num_epochs=args.epochs,
+            plan=plan,
+            seed=args.seed,
+            keyed_faults=not getattr(args, "sequential", False),
+        )
+        simulator = RuntimeSimulator(protocol, tree, workload, config)
+        if recorder is not None:
+            simulator.set_observer(TransportTraceAdapter(recorder))
+        return simulator.run()
+
+    from repro.cluster import ClusterConfig, run_cluster
+
+    config = ClusterConfig(
+        num_epochs=args.epochs,
+        plan=plan,
+        seed=args.seed,
+        observer=None if recorder is None else TransportTraceAdapter(recorder),
+    )
+    return run_cluster(protocol, tree, workload, config)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import TraceRecorder, diff_traces
+
+    if args.input:
+        with open(args.input, encoding="utf-8") as stream:
+            recorder = TraceRecorder.read_jsonl(stream)
+    else:
+        recorder = TraceRecorder(
+            substrate=args.substrate, run_id=f"seed-{args.seed}"
+        )
+        _run_observed(args, recorder)
+
+    if args.diff:
+        with open(args.diff, encoding="utf-8") as stream:
+            other = TraceRecorder.read_jsonl(stream)
+        verdict = diff_traces(
+            recorder.events,
+            other.events,
+            label_a=args.input or recorder.substrate,
+            label_b=args.diff,
+        )
+        print(verdict.describe())
+        return 0 if verdict.agrees else 1
+
+    events = recorder.filter(epoch=args.epoch, node=args.node, edge=args.edge)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            for event in events:
+                stream.write(event.to_json() + "\n")
+        print(f"wrote {len(events)} event(s) to {args.output}")
+        return 0
+    if args.dispositions:
+        from repro.obs import trace_dispositions
+
+        slices = trace_dispositions(events)
+        print(json.dumps({str(epoch): s for epoch, s in slices.items()}, indent=2))
+        return 0
+    for event in events:
+        print(event.to_json())
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        MetricsRegistry,
+        publish_cluster_metrics,
+        publish_network_metrics,
+        publish_runtime_metrics,
+    )
+
+    metrics = _run_observed(args)
+    registry = MetricsRegistry()
+    publish = {
+        "network": publish_network_metrics,
+        "runtime": publish_runtime_metrics,
+        "cluster": publish_cluster_metrics,
+    }[args.substrate]
+    publish(metrics, registry)
+    if args.format == "json":
+        print(json.dumps(registry.render_json(), indent=2))
+    else:
+        print(registry.render_prometheus(), end="")
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "runtime": _cmd_runtime,
@@ -500,6 +681,8 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "bounds": _cmd_bounds,
     "lint": _cmd_lint,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
 }
 
 

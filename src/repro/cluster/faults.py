@@ -32,79 +32,33 @@ rejected because the cluster has no logical clock to window them on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.errors import ConfigurationError
 from repro.network.channel import EdgeClass
-from repro.runtime.faults import FaultPlan
+from repro.runtime.faults import KeyedFaultInjector, KeyedVerdict
 from repro.runtime.transport import RetransmitPolicy
-from repro.utils.rng import DeterministicRandom
 
 __all__ = ["StreamVerdict", "StreamFaultInjector", "parcel_fate"]
 
 
-@dataclass(frozen=True)
-class StreamVerdict:
-    """What the injected fault model does to one envelope write."""
-
-    lost: bool
-    #: Copies actually written to the stream (0 lost, 1 normal, 2 duplicated).
-    copies: int
+#: What the injected fault model does to one envelope write — the
+#: substrate-neutral :class:`~repro.runtime.faults.KeyedVerdict` under
+#: its historical cluster name.
+StreamVerdict = KeyedVerdict
 
 
-class StreamFaultInjector:
-    """Deterministic, order-independent fault oracle for stream sends."""
+class StreamFaultInjector(KeyedFaultInjector):
+    """Deterministic, order-independent fault oracle for stream sends.
 
-    def __init__(self, plan: FaultPlan, *, seed: int = 0) -> None:
-        if plan.bursts:
-            raise ConfigurationError(
-                "BurstLoss windows are defined over logical time and are not "
-                "supported by the TCP cluster; use per-edge LinkProfile loss"
-            )
-        if plan.outages:
-            raise ConfigurationError(
-                "NodeOutage windows are defined over logical time and are not "
-                "supported by the TCP cluster; model churn via failed_sources"
-            )
-        self.plan = plan
-        self.seed = seed
-        #: Verdicts issued per edge class (diagnostics).
-        self.verdicts_by_class: dict[EdgeClass, int] = {}
-
-    def _draw(self, kind: str, sender: int, receiver: int, uid: int, attempt: int, n: int) -> list[float]:
-        rng = DeterministicRandom(
-            self.seed, "cluster", kind, f"{sender}->{receiver}", f"uid:{uid}", f"try:{attempt}"
-        )
-        return [rng.random() for _ in range(n)]
-
-    def data_verdict(
-        self, sender: int, receiver: int, edge: EdgeClass, uid: int, attempt: int
-    ) -> StreamVerdict:
-        """Fate of data-envelope attempt *attempt* of parcel *uid*."""
-        self.verdicts_by_class[edge] = self.verdicts_by_class.get(edge, 0) + 1
-        profile = self.plan.profile_for(edge)
-        u_loss, u_dup = self._draw("data", sender, receiver, uid, attempt, 2)
-        if u_loss < profile.loss_rate:
-            return StreamVerdict(lost=True, copies=0)
-        copies = 2 if u_dup < profile.duplicate_rate else 1
-        return StreamVerdict(lost=False, copies=copies)
-
-    def ack_verdict(
-        self, sender: int, receiver: int, edge: EdgeClass, uid: int, attempt: int
-    ) -> bool:
-        """True when the ACK for (*uid*, *attempt*) is lost on the way back.
-
-        *sender*/*receiver* name the **data** direction (the ACK travels
-        receiver→sender); keyed independently of the data draw so a lost
-        packet and a lost ACK are uncorrelated, as on a real radio.
-        """
-        profile = self.plan.profile_for(edge)
-        (u_loss,) = self._draw("ack", sender, receiver, uid, attempt, 1)
-        return u_loss < profile.loss_rate
+    The keyed-draw logic now lives in
+    :class:`~repro.runtime.faults.KeyedFaultInjector` so the runtime can
+    replay the identical schedule (``RuntimeConfig.keyed_faults``); this
+    subclass exists to keep the cluster's public name and import path
+    stable.  Stream labels are unchanged — same seed, same verdicts as
+    every earlier release.
+    """
 
 
 def parcel_fate(
-    injector: StreamFaultInjector,
+    injector: KeyedFaultInjector,
     policy: RetransmitPolicy,
     sender: int,
     receiver: int,

@@ -48,7 +48,7 @@ from repro.cluster.framing import FrameReader, FrameWriter
 from repro.cluster.metrics import ClusterEpochResult, ClusterTrafficLedger
 from repro.protocols.base import AggregatorRole, PartialStateRecord, QuerierRole, SourceRole
 from repro.runtime.recovery import EpochRecovery
-from repro.runtime.transport import RetransmitPolicy
+from repro.runtime.transport import RetransmitPolicy, TransportObserver
 from repro.utils.rng import DeterministicRandom
 from repro.wire.codec import PSRCodec
 
@@ -75,6 +75,7 @@ class ClusterNode:
         clock: ClusterClock,
         seed: int,
         edge_of_sender: dict[int, EdgeClass],
+        observer: TransportObserver | None = None,
     ) -> None:
         self.node_id = node_id
         self.ledger = ledger
@@ -82,6 +83,10 @@ class ClusterNode:
         self.policy = policy
         self.clock = clock
         self.seed = seed
+        #: Same ``(kind, attrs)`` hook shape as the runtime's
+        #: :class:`~repro.runtime.transport.ReliableTransport`, so one
+        #: trace adapter observes both substrates.
+        self.observer = observer
         #: child node id → edge class of the link it sends on.
         self._edge_of_sender = edge_of_sender
         self._server: asyncio.Server | None = None
@@ -200,6 +205,33 @@ class ClusterNode:
             )
         return edge
 
+    def _emit(
+        self,
+        kind: str,
+        *,
+        epoch: int,
+        uid: int,
+        attempt: int,
+        edge: EdgeClass,
+        sender: int,
+        receiver: int,
+        **extra: object,
+    ) -> None:
+        """Notify the observer with the runtime transport's attribute keys."""
+        if self.observer is None:
+            return
+        attrs: dict = {
+            "time": self.clock.now(),
+            "epoch": epoch,
+            "uid": uid,
+            "attempt": attempt,
+            "edge": edge.value,
+            "sender": sender,
+            "receiver": receiver,
+        }
+        attrs.update(extra)
+        self.observer(kind, attrs)
+
     async def _handle_data(self, envelope: DataEnvelope, acks: FrameWriter) -> None:
         edge = self._classify(envelope.sender)
         counters = self.ledger.edge(edge)
@@ -207,15 +239,28 @@ class ClusterNode:
         key = (envelope.sender, envelope.uid)
         if key in self._seen:
             counters.duplicates_suppressed += 1
+            disposition_kind = "duplicate"
         else:
             self._seen.add(key)
             disposition = self._deliver(envelope)
             if disposition == _DELIVERED:
                 counters.delivered += 1
+                disposition_kind = "deliver"
             elif disposition == _LATE:
                 counters.late_frames += 1
+                disposition_kind = "late"
             else:
                 counters.decode_failures += 1
+                disposition_kind = "decode_failure"
+        self._emit(
+            disposition_kind,
+            epoch=envelope.epoch,
+            uid=envelope.uid,
+            attempt=envelope.attempt,
+            edge=edge,
+            sender=envelope.sender,
+            receiver=self.node_id,
+        )
         # Transport ACK for every received copy — even duplicates, even
         # undecodable inner frames (the *transport* delivered fine) —
         # unless the seeded schedule swallows it on the way back.
@@ -223,6 +268,15 @@ class ClusterNode:
             envelope.sender, self.node_id, edge, envelope.uid, envelope.attempt
         ):
             counters.acks_dropped += 1
+            self._emit(
+                "ack_lost",
+                epoch=envelope.epoch,
+                uid=envelope.uid,
+                attempt=envelope.attempt,
+                edge=edge,
+                sender=envelope.sender,
+                receiver=self.node_id,
+            )
         else:
             ack = encode_ack(epoch=envelope.epoch, uid=envelope.uid, attempt=envelope.attempt)
             await acks.write_frame(ack)
@@ -292,11 +346,30 @@ class ClusterNode:
                 counters.attempts += 1
                 if attempt:
                     counters.retransmissions += 1
+                self._emit(
+                    "attempt",
+                    epoch=epoch,
+                    uid=uid,
+                    attempt=attempt,
+                    edge=self._parent_edge,
+                    sender=self.node_id,
+                    receiver=self._parent_id,
+                )
                 verdict = self.injector.data_verdict(
                     self.node_id, self._parent_id, self._parent_edge, uid, attempt
                 )
                 if verdict.lost:
                     counters.drops_injected += 1
+                    self._emit(
+                        "drop",
+                        epoch=epoch,
+                        uid=uid,
+                        attempt=attempt,
+                        edge=self._parent_edge,
+                        sender=self.node_id,
+                        receiver=self._parent_id,
+                        cause="link",
+                    )
                 else:
                     frame = encode_data(
                         epoch=epoch,
@@ -318,6 +391,15 @@ class ClusterNode:
                 except TimeoutError:
                     continue
             counters.gave_up += 1
+            self._emit(
+                "give_up",
+                epoch=epoch,
+                uid=uid,
+                attempt=self.policy.max_attempts - 1,
+                edge=self._parent_edge,
+                sender=self.node_id,
+                receiver=self._parent_id,
+            )
             return False
         finally:
             del self._pending_acks[uid]

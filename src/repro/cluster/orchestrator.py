@@ -41,7 +41,7 @@ from repro.cluster.node import AggregatorNode, ClusterNode, QuerierNode, SourceN
 from repro.protocols.base import SecureAggregationProtocol
 from repro.runtime.faults import FaultPlan
 from repro.runtime.recovery import expected_contributions
-from repro.runtime.transport import RetransmitPolicy
+from repro.runtime.transport import RetransmitPolicy, TransportObserver
 from repro.utils.validation import check_positive_int
 
 __all__ = ["ClusterConfig", "EpochOrchestrator", "run_cluster"]
@@ -83,6 +83,12 @@ class ClusterConfig:
     evaluate: bool = True
     #: Source ids that are known-failed up front (never report).
     failed_sources: frozenset[int] = field(default_factory=frozenset)
+    #: ``(kind, attrs)`` hook fed from every node's ARQ and receive path
+    #: — the same shape :meth:`RuntimeSimulator.set_observer` accepts,
+    #: so one :class:`~repro.obs.adapters.TransportTraceAdapter` traces
+    #: either substrate.  Purely observational: never consulted by the
+    #: run itself.
+    observer: TransportObserver | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         check_positive_int("num_epochs", self.num_epochs)
@@ -122,6 +128,7 @@ class EpochOrchestrator:
             policy=self.config.policy,
             clock=self.clock,
             seed=self.config.seed,
+            observer=self.config.observer,
         )
         self.sources = {
             sid: SourceNode(sid, protocol.create_source(sid), self.codec, **common)

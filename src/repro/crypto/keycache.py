@@ -33,6 +33,7 @@ future sharded key store) can sit behind it.
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
@@ -109,6 +110,10 @@ class KeyScheduleCache:
         self.misses = 0
         #: Epoch entries discarded to respect ``capacity``.
         self.evictions = 0
+        #: Evictions of epochs belonging to the prefetch window being
+        #: warmed — work paid for and thrown away in the same call.
+        self.thrash = 0
+        self._prefetch_window: frozenset[int] = frozenset()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -135,6 +140,7 @@ class KeyScheduleCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "thrash": self.thrash,
             "cached_epochs": len(self._entries),
         }
 
@@ -193,21 +199,43 @@ class KeyScheduleCache:
         source_ids: Sequence[int] | None = None,
         *,
         ops: "OpCounter | None" = None,
+        strict: bool = False,
     ) -> None:
         """Warm the cache for a window of epochs.
 
         Derives ``K_t`` plus ``k_i,t``/``ss_i,t`` for every source in
         *source_ids* (all sources when ``None``) at every epoch, paying
-        only for entries not already cached.  With a capacity smaller
-        than the window the earliest epochs are evicted as later ones
-        fill — correct but wasteful; size the cache to the window.
+        only for entries not already cached.
+
+        A window larger than the cache capacity *thrashes*: earliest
+        epochs are evicted while the window is still being warmed, so
+        the derivations just paid for are thrown away.  That condition
+        raises :class:`~repro.errors.ParameterError` when ``strict`` is
+        true and emits a :class:`RuntimeWarning` otherwise; either way
+        the per-call waste is counted in ``stats()["thrash"]``.
         """
+        window = list(epochs)
+        distinct = frozenset(window)
+        if len(distinct) > self._capacity:
+            detail = (
+                f"prefetch window of {len(distinct)} distinct epochs exceeds the "
+                f"cache capacity of {self._capacity}: epochs warmed first are "
+                "evicted before the window finishes (thrash) — raise capacity "
+                "or shrink the window"
+            )
+            if strict:
+                raise ParameterError(detail)
+            warnings.warn(detail, RuntimeWarning, stacklevel=2)
         ids = range(self._provider.num_sources) if source_ids is None else list(source_ids)
-        for epoch in epochs:
-            self.master_key_at(epoch, ops=ops)
-            for source_id in ids:
-                self.source_pad_at(source_id, epoch, ops=ops)
-                self.share_digest_at(source_id, epoch, ops=ops)
+        self._prefetch_window = distinct
+        try:
+            for epoch in window:
+                self.master_key_at(epoch, ops=ops)
+                for source_id in ids:
+                    self.source_pad_at(source_id, epoch, ops=ops)
+                    self.share_digest_at(source_id, epoch, ops=ops)
+        finally:
+            self._prefetch_window = frozenset()
 
     # ------------------------------------------------------------------
     # Internals
@@ -219,8 +247,10 @@ class KeyScheduleCache:
             entry = _EpochEntry()
             self._entries[epoch] = entry
             if len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
                 self.evictions += 1
+                if evicted in self._prefetch_window:
+                    self.thrash += 1
         else:
             self._entries.move_to_end(epoch)
         return entry

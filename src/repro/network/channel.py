@@ -47,6 +47,7 @@ __all__ = [
     "Channel",
     "Interceptor",
     "FrameInterceptor",
+    "RunListener",
     "TrafficCounters",
 ]
 
@@ -66,6 +67,11 @@ Interceptor = Callable[[DataMessage, EdgeClass], DataMessage | None]
 #: A frame-level interceptor sees the raw frame bytes in flight and may
 #: return them unchanged, corrupted, or ``None`` to drop the frame.
 FrameInterceptor = Callable[[bytes, EdgeClass], "bytes | None"]
+
+#: A run listener is notified whenever :meth:`Channel.begin_run`
+#: installs a fresh counter set — observers (tracers, metric adapters)
+#: use it to scope their own state to the run boundary.
+RunListener = Callable[["TrafficCounters"], None]
 
 
 @dataclass
@@ -147,6 +153,7 @@ class Channel:
         self.counters = TrafficCounters()
         self._interceptors: list[Interceptor] = []
         self._frame_interceptors: list[FrameInterceptor] = []
+        self._run_listeners: list[RunListener] = []
 
     def begin_run(self) -> TrafficCounters:
         """Install a fresh counter set for a new measured run.
@@ -156,10 +163,26 @@ class Channel:
         zero instead of silently accumulating traffic from earlier runs
         on the same simulator.  The previous counters object is left
         untouched (a caller holding it keeps a consistent snapshot);
-        reads through ``channel.counters`` see the new run.
+        reads through ``channel.counters`` see the new run.  Registered
+        run listeners are notified with the fresh counters so observers
+        (e.g. :class:`~repro.network.tracing.SimulationTracer`) can
+        scope their own state to the same boundary.
         """
         self.counters = TrafficCounters()
+        for listener in list(self._run_listeners):
+            listener(self.counters)
         return self.counters
+
+    # -- run-boundary listeners ------------------------------------------
+
+    def add_run_listener(self, listener: RunListener) -> None:
+        """Register *listener* to be called on every :meth:`begin_run`."""
+        if listener not in self._run_listeners:
+            self._run_listeners.append(listener)
+
+    def remove_run_listener(self, listener: RunListener) -> None:
+        if listener in self._run_listeners:
+            self._run_listeners.remove(listener)
 
     # -- interceptor management -----------------------------------------
 

@@ -18,7 +18,7 @@ import json
 from dataclasses import dataclass, field
 from typing import IO
 
-from repro.network.channel import Channel, EdgeClass
+from repro.network.channel import Channel, EdgeClass, TrafficCounters
 from repro.network.messages import DataMessage
 
 __all__ = ["TraceEvent", "SimulationTracer"]
@@ -81,10 +81,38 @@ class SimulationTracer:
     include_ciphertexts: bool = False
     events: list[TraceEvent] = field(default_factory=list)
     _sequence: int = 0
+    _channel: Channel | None = field(default=None, repr=False)
 
     def attach(self, channel: Channel) -> None:
-        """Register as a (non-modifying) interceptor on *channel*."""
+        """Register as a (non-modifying) interceptor on *channel*.
+
+        Idempotent: attaching twice to the same channel records each hop
+        once, not twice.  Attaching to a different channel first detaches
+        from the old one.  The tracer also registers a run listener so
+        its events are scoped per run — a new
+        :meth:`~repro.network.channel.Channel.begin_run` clears the event
+        buffer and restarts the sequence, keeping one trace per run
+        instead of silently mixing runs.
+        """
+        if self._channel is channel:
+            return
+        if self._channel is not None:
+            self.detach()
         channel.add_interceptor(self._observe)
+        channel.add_run_listener(self._on_begin_run)
+        self._channel = channel
+
+    def detach(self) -> None:
+        """Unregister from the attached channel (no-op when detached)."""
+        if self._channel is None:
+            return
+        self._channel.remove_interceptor(self._observe)
+        self._channel.remove_run_listener(self._on_begin_run)
+        self._channel = None
+
+    def _on_begin_run(self, counters: TrafficCounters) -> None:
+        self.events = []
+        self._sequence = 0
 
     def _observe(self, message: DataMessage, edge: EdgeClass) -> DataMessage:
         ciphertext = None

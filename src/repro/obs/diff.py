@@ -1,0 +1,100 @@
+"""Trace diffing: explain where two runs (or substrates) diverged.
+
+Two traces of the same seed/tree/plan should tell the same story on the
+seed-determined slice; when they do not, :func:`diff_traces` names the
+first divergence precisely — which epoch, which disposition class,
+which hops appear on one side only — instead of leaving two JSON-lines
+files to eyeball.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.obs.trace import ObsEvent, trace_dispositions
+
+__all__ = ["DispositionDelta", "TraceDiff", "diff_dispositions", "diff_traces"]
+
+
+@dataclass(frozen=True)
+class DispositionDelta:
+    """One disagreement between two traces' disposition slices."""
+
+    epoch: int
+    #: Which disposition class disagrees (``delivered``, ``dropped``, …).
+    category: str
+    only_a: tuple[tuple[int, int], ...]
+    only_b: tuple[tuple[int, int], ...]
+
+    def describe(self, label_a: str = "a", label_b: str = "b") -> str:
+        parts = [f"epoch {self.epoch} {self.category}:"]
+        if self.only_a:
+            hops = ", ".join(f"{s}->{r}" for s, r in self.only_a)
+            parts.append(f"only in {label_a}: {hops}")
+        if self.only_b:
+            hops = ", ".join(f"{s}->{r}" for s, r in self.only_b)
+            parts.append(f"only in {label_b}: {hops}")
+        return " ".join(parts)
+
+
+@dataclass
+class TraceDiff:
+    """All disagreements between two traces, ordered by epoch."""
+
+    label_a: str
+    label_b: str
+    deltas: list[DispositionDelta]
+
+    @property
+    def agrees(self) -> bool:
+        return not self.deltas
+
+    def describe(self) -> str:
+        if self.agrees:
+            return f"traces {self.label_a} and {self.label_b} agree on the determined slice"
+        lines = [
+            f"{len(self.deltas)} disposition difference(s) between "
+            f"{self.label_a} and {self.label_b}:"
+        ]
+        lines.extend(d.describe(self.label_a, self.label_b) for d in self.deltas)
+        return "\n".join(lines)
+
+
+def diff_dispositions(
+    dispositions_a: dict[int, dict[str, list[tuple[int, int]]]],
+    dispositions_b: dict[int, dict[str, list[tuple[int, int]]]],
+) -> list[DispositionDelta]:
+    """Compare two disposition slices category by category."""
+    deltas: list[DispositionDelta] = []
+    for epoch in sorted(set(dispositions_a) | set(dispositions_b)):
+        slice_a = dispositions_a.get(epoch, {})
+        slice_b = dispositions_b.get(epoch, {})
+        for category in ("delivered", "dropped", "late", "decode_failures"):
+            hops_a = {tuple(hop) for hop in slice_a.get(category, [])}
+            hops_b = {tuple(hop) for hop in slice_b.get(category, [])}
+            if hops_a != hops_b:
+                deltas.append(
+                    DispositionDelta(
+                        epoch=epoch,
+                        category=category,
+                        only_a=tuple(sorted(hops_a - hops_b)),
+                        only_b=tuple(sorted(hops_b - hops_a)),
+                    )
+                )
+    return deltas
+
+
+def diff_traces(
+    events_a: Iterable[ObsEvent],
+    events_b: Iterable[ObsEvent],
+    *,
+    label_a: str = "a",
+    label_b: str = "b",
+) -> TraceDiff:
+    """Diff two event streams on the seed-determined disposition slice."""
+    return TraceDiff(
+        label_a=label_a,
+        label_b=label_b,
+        deltas=diff_dispositions(trace_dispositions(events_a), trace_dispositions(events_b)),
+    )

@@ -1,0 +1,116 @@
+"""Per-phase profiling hooks for the crypto and codec hot paths.
+
+:class:`PhaseProfiler` accumulates call counts and elapsed time per
+named phase (``encrypt``, ``combine``, ``evaluate``, ``encode``,
+``decode``, …).  The time source is injectable; the default is
+:func:`time.perf_counter`, the one wall-clock primitive the project's
+determinism rule (SL002) explicitly allows because it never leaks into
+seeded state — profiling numbers are *measurements about* a run, never
+inputs to it.  Deterministic consumers can inject a logical counter
+instead (the tests do).
+
+:class:`ProfiledCodec` wraps any
+:class:`~repro.wire.codec.PSRCodec`-shaped object and charges its
+``encode``/``decode`` to a profiler, so a simulator built with
+``Channel(codec=ProfiledCodec(codec, profiler))`` surfaces the codec
+tax without touching the wire layer.  Phase figures publish into the
+unified registry as ``sies_phase_calls_total`` /
+``sies_phase_seconds_total`` (see :mod:`repro.obs.publish`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["PhaseProfiler", "ProfiledCodec"]
+
+
+@dataclass
+class _PhaseTotals:
+    calls: int = 0
+    seconds: float = 0.0
+
+
+class PhaseProfiler:
+    """Accumulates ``calls``/``seconds`` per named phase."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._totals: dict[str, _PhaseTotals] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one block under *name*::
+
+            with profiler.phase("evaluate"):
+                querier.evaluate(epoch, psr)
+        """
+        started = self._clock()
+        try:
+            yield
+        finally:
+            totals = self._totals.setdefault(name, _PhaseTotals())
+            totals.calls += 1
+            totals.seconds += self._clock() - started
+
+    def wrap(self, name: str, fn: Callable) -> Callable:
+        """Return *fn* instrumented as phase *name* (args passed through)."""
+
+        def wrapped(*args, **kwargs):
+            with self.phase(name):
+                return fn(*args, **kwargs)
+
+        return wrapped
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """``{phase: {"calls": n, "seconds": s}}``, phases sorted."""
+        return {
+            name: {"calls": totals.calls, "seconds": totals.seconds}
+            for name, totals in sorted(self._totals.items())
+        }
+
+    def publish(self, registry: "MetricsRegistry", *, substrate: str) -> None:
+        """Export totals into the unified registry."""
+        calls = registry.counter(
+            "sies_phase_calls_total",
+            "Invocations of a profiled phase",
+            ("substrate", "phase"),
+        )
+        seconds = registry.counter(
+            "sies_phase_seconds_total",
+            "Elapsed time inside a profiled phase",
+            ("substrate", "phase"),
+        )
+        for name, totals in sorted(self._totals.items()):
+            calls.inc(totals.calls, substrate=substrate, phase=name)
+            seconds.inc(totals.seconds, substrate=substrate, phase=name)
+
+
+class ProfiledCodec:
+    """A :class:`~repro.wire.codec.PSRCodec` wrapper charging a profiler.
+
+    Delegates everything; only ``encode`` and ``decode`` are timed
+    (``framed_size`` is arithmetic, not a hot path).
+    """
+
+    def __init__(self, codec, profiler: PhaseProfiler) -> None:
+        self._codec = codec
+        self._profiler = profiler
+
+    def encode(self, psr) -> bytes:
+        with self._profiler.phase("encode"):
+            return self._codec.encode(psr)
+
+    def decode(self, frame: bytes):
+        with self._profiler.phase("decode"):
+            return self._codec.decode(frame)
+
+    def __getattr__(self, name: str):
+        return getattr(self._codec, name)

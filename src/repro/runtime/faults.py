@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.errors import ParameterError
+from repro.errors import ConfigurationError, ParameterError
 from repro.network.channel import EdgeClass
 from repro.utils.rng import DeterministicRandom
 
@@ -31,6 +31,8 @@ __all__ = [
     "FaultPlan",
     "LinkVerdict",
     "FaultInjector",
+    "KeyedVerdict",
+    "KeyedFaultInjector",
 ]
 
 
@@ -199,3 +201,108 @@ class FaultInjector:
         if u_dup < profile.duplicate_rate:
             latencies.append(profile.latency + u_dup_latency * profile.jitter)
         return LinkVerdict(lost=False, latencies=tuple(latencies))
+
+
+@dataclass(frozen=True)
+class KeyedVerdict:
+    """What a keyed fault schedule does to one transmission attempt."""
+
+    lost: bool
+    #: Copies that survive the link (0 lost, 1 normal, 2 duplicated).
+    copies: int
+
+
+class KeyedFaultInjector:
+    """Order-independent fault oracle keyed by the attempt coordinate.
+
+    Where :class:`FaultInjector` draws from one *sequential* stream per
+    edge (deterministic only when attempts are adjudicated in a fixed
+    order), this oracle keys every decision by the full coordinate
+    ``(sender, receiver, parcel uid, attempt index)`` through
+    independent :class:`~repro.utils.rng.DeterministicRandom` streams.
+    A verdict is a pure function of the seed and the coordinate — no
+    matter when, in what order, or how often it is queried — which is
+    what lets the TCP cluster stay reproducible under real concurrency
+    and what lets the runtime replay the *same* loss schedule as the
+    cluster for cross-substrate trace comparison
+    (``RuntimeConfig.keyed_faults``).
+
+    The stream labels deliberately keep the literal ``"cluster"``
+    namespace the cluster substrate introduced: both substrates must
+    draw identical schedules from one seed, and re-labelling would
+    silently re-randomize every pinned cluster test.
+
+    Time-windowed features (:class:`BurstLoss`, :class:`NodeOutage`)
+    are rejected — a keyed schedule has no notion of *when* an attempt
+    happens, which is exactly the point.
+    """
+
+    def __init__(self, plan: FaultPlan, *, seed: int = 0) -> None:
+        if plan.bursts:
+            raise ConfigurationError(
+                "BurstLoss windows are defined over logical time and cannot be "
+                "keyed by attempt coordinate; use per-edge LinkProfile loss"
+            )
+        if plan.outages:
+            raise ConfigurationError(
+                "NodeOutage windows are defined over logical time and cannot be "
+                "keyed by attempt coordinate; model churn via failed_sources"
+            )
+        self.plan = plan
+        self.seed = seed
+        #: Verdicts issued per edge class (diagnostics).
+        self.verdicts_by_class: dict[EdgeClass, int] = {}
+
+    def _draw(
+        self, kind: str, sender: int, receiver: int, uid: int, attempt: int, n: int
+    ) -> list[float]:
+        rng = DeterministicRandom(
+            self.seed, "cluster", kind, f"{sender}->{receiver}", f"uid:{uid}", f"try:{attempt}"
+        )
+        return [rng.random() for _ in range(n)]
+
+    def data_verdict(
+        self, sender: int, receiver: int, edge: EdgeClass, uid: int, attempt: int
+    ) -> KeyedVerdict:
+        """Fate of data attempt *attempt* of parcel *uid*."""
+        self.verdicts_by_class[edge] = self.verdicts_by_class.get(edge, 0) + 1
+        profile = self.plan.profile_for(edge)
+        u_loss, u_dup = self._draw("data", sender, receiver, uid, attempt, 2)
+        if u_loss < profile.loss_rate:
+            return KeyedVerdict(lost=True, copies=0)
+        copies = 2 if u_dup < profile.duplicate_rate else 1
+        return KeyedVerdict(lost=False, copies=copies)
+
+    def ack_verdict(
+        self, sender: int, receiver: int, edge: EdgeClass, uid: int, attempt: int
+    ) -> bool:
+        """True when the ACK for (*uid*, *attempt*) is lost on the way back.
+
+        *sender*/*receiver* name the **data** direction (the ACK travels
+        receiver→sender); keyed independently of the data draw so a lost
+        packet and a lost ACK are uncorrelated, as on a real radio.
+        """
+        profile = self.plan.profile_for(edge)
+        (u_loss,) = self._draw("ack", sender, receiver, uid, attempt, 1)
+        return u_loss < profile.loss_rate
+
+    def data_latencies(
+        self, sender: int, receiver: int, edge: EdgeClass, uid: int, attempt: int, copies: int
+    ) -> tuple[float, ...]:
+        """Arrival delays for *copies* surviving copies (logical time).
+
+        Drawn from a keyed stream of its own (``"lat"``) so substrates
+        that do not simulate latency — the TCP cluster has real sockets
+        for that — consume nothing from the loss/duplication streams.
+        """
+        profile = self.plan.profile_for(edge)
+        draws = self._draw("lat", sender, receiver, uid, attempt, copies)
+        return tuple(profile.latency + u * profile.jitter for u in draws)
+
+    def ack_latency(
+        self, sender: int, receiver: int, edge: EdgeClass, uid: int, attempt: int
+    ) -> float:
+        """Return-trip delay of a surviving ACK (logical time)."""
+        profile = self.plan.profile_for(edge)
+        (u,) = self._draw("acklat", sender, receiver, uid, attempt, 1)
+        return profile.latency + u * profile.jitter

@@ -13,6 +13,7 @@ evaluation of its final PSR.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.network.channel import TrafficCounters
@@ -24,11 +25,17 @@ __all__ = ["RuntimeEpochMetrics", "RuntimeRunMetrics", "latency_percentile"]
 
 
 def latency_percentile(samples: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of *samples* (0 when empty)."""
+    """True nearest-rank percentile of *samples* (0 when empty).
+
+    The nearest-rank definition: the p-th percentile of ``n`` ordered
+    samples is the ``ceil(p * n)``-th smallest (1-based), so the p50 of
+    ``[1, 2, 3, 4]`` is 2, not 3.  ``fraction <= 0`` returns the
+    minimum, ``fraction >= 1`` the maximum.
+    """
     if not samples:
         return 0.0
     ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
     return ordered[rank]
 
 

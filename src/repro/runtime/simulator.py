@@ -41,10 +41,15 @@ from repro.protocols.base import (
     SecureAggregationProtocol,
 )
 from repro.runtime.events import EventScheduler
-from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.faults import FaultInjector, FaultPlan, KeyedFaultInjector
 from repro.runtime.metrics import RuntimeEpochMetrics, RuntimeRunMetrics
 from repro.runtime.recovery import EpochRecovery, expected_contributions
-from repro.runtime.transport import ReliableTransport, RetransmitPolicy, TransportStats
+from repro.runtime.transport import (
+    ReliableTransport,
+    RetransmitPolicy,
+    TransportObserver,
+    TransportStats,
+)
 from repro.utils.validation import check_positive_int
 
 __all__ = ["RuntimeConfig", "RuntimeSimulator"]
@@ -76,6 +81,12 @@ class RuntimeConfig:
     evaluate: bool = True
     #: Source ids that are known-failed up front (never report).
     failed_sources: frozenset[int] = field(default_factory=frozenset)
+    #: When True, link verdicts come from the attempt-coordinate-keyed
+    #: oracle the TCP cluster uses (uid = epoch) instead of the
+    #: historical sequential per-edge streams: same seed + plan then
+    #: yields the *same* loss schedule as the cluster, making traces
+    #: comparable across substrates.  Keyed plans reject bursts/outages.
+    keyed_faults: bool = False
 
     def __post_init__(self) -> None:
         check_positive_int("num_epochs", self.num_epochs)
@@ -145,6 +156,11 @@ class RuntimeSimulator:
         self.channel = Channel(codec=protocol.wire_codec())
         self.scheduler = EventScheduler()
         self.injector = FaultInjector(self.config.plan, seed=self.config.seed)
+        self.keyed_injector = (
+            KeyedFaultInjector(self.config.plan, seed=self.config.seed)
+            if self.config.keyed_faults
+            else None
+        )
         self.transport = ReliableTransport(
             self.scheduler,
             self.injector,
@@ -152,6 +168,7 @@ class RuntimeSimulator:
             self.config.policy,
             seed=self.config.seed,
             stats=TransportStats(),
+            keyed=self.keyed_injector,
         )
 
         self.source_ops = OpCounter()
@@ -185,6 +202,44 @@ class RuntimeSimulator:
     def _expected_contributions(self, attempted: frozenset[int]) -> dict[int, int]:
         """Per-aggregator early-merge counts (shared with the TCP cluster)."""
         return expected_contributions(self.tree, attempted)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def set_observer(self, observer: TransportObserver | None) -> None:
+        """Install an observability hook over the whole runtime.
+
+        The hook receives every transport event (``attempt``, ``drop``,
+        ``deliver``, ``duplicate``, ``ack_lost``, ``give_up``) plus the
+        simulator-level ``late`` events for copies that arrived after
+        their receiver's merge deadline.  :mod:`repro.obs` builds the
+        unified trace from exactly this stream.
+        """
+        self.transport.observer = observer
+
+    def _edge_of(self, sender: int, receiver: int) -> EdgeClass:
+        if receiver == QUERIER_NODE_ID:
+            return EdgeClass.AGGREGATOR_TO_QUERIER
+        if sender in self._sources:
+            return EdgeClass.SOURCE_TO_AGGREGATOR
+        return EdgeClass.AGGREGATOR_TO_AGGREGATOR
+
+    def _notify_late(self, epoch: int, message: DataMessage) -> None:
+        observer = self.transport.observer
+        if observer is not None:
+            observer(
+                "late",
+                {
+                    "time": self.scheduler.now,
+                    "epoch": epoch,
+                    "uid": None,
+                    "attempt": None,
+                    "edge": self._edge_of(message.sender, message.receiver).value,
+                    "sender": message.sender,
+                    "receiver": message.receiver,
+                },
+            )
 
     # ------------------------------------------------------------------
     # Execution
@@ -299,6 +354,7 @@ class RuntimeSimulator:
         aid = message.receiver
         if aid in state.merged:
             state.late_arrivals += 1
+            self._notify_late(epoch, message)
             return
         inbox = state.inboxes.setdefault(aid, [])
         inbox.append((message.psr, manifest))
@@ -341,6 +397,7 @@ class RuntimeSimulator:
     ) -> None:
         if state.finalized:
             state.late_arrivals += 1
+            self._notify_late(state.epoch, message)
             return
         state.finalized = True
         recovery = EpochRecovery.from_final_manifest(

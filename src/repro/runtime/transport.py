@@ -30,15 +30,26 @@ from repro.errors import ParameterError
 from repro.network.channel import Channel, EdgeClass
 from repro.network.messages import DataMessage
 from repro.runtime.events import EventScheduler, ScheduledEvent
-from repro.runtime.faults import FaultInjector
+from repro.runtime.faults import FaultInjector, KeyedFaultInjector
 from repro.utils.rng import DeterministicRandom
 
-__all__ = ["RetransmitPolicy", "Parcel", "TransportStats", "ReliableTransport"]
+__all__ = [
+    "RetransmitPolicy",
+    "Parcel",
+    "TransportStats",
+    "ReliableTransport",
+    "TransportObserver",
+]
 
 #: Application delivery callback: (delivered message, manifest).
 DeliverFn = Callable[[DataMessage, frozenset[int]], None]
 #: Sender-side failure callback once the retry budget is exhausted.
 FailFn = Callable[["Parcel"], None]
+#: Observability hook: ``(event kind, attributes)`` per transport event.
+#: Kinds: ``attempt``, ``drop``, ``deliver``, ``duplicate``, ``ack_lost``,
+#: ``give_up``.  Kept as a plain callable so the transport stays below
+#: :mod:`repro.obs` in the layering (the adapter lives up there).
+TransportObserver = Callable[[str, dict], None]
 
 
 @dataclass(frozen=True)
@@ -146,12 +157,23 @@ class ReliableTransport:
         *,
         seed: int = 0,
         stats: TransportStats | None = None,
+        keyed: KeyedFaultInjector | None = None,
+        observer: TransportObserver | None = None,
     ) -> None:
         self.scheduler = scheduler
         self.injector = injector
         self.channel = channel
         self.policy = policy
         self.stats = stats if stats is not None else TransportStats()
+        #: When set, link verdicts come from the attempt-coordinate-keyed
+        #: oracle (parcel uid = epoch, matching the TCP cluster) instead
+        #: of the sequential per-edge streams — same seed, same loss
+        #: schedule as the cluster, the basis of cross-substrate trace
+        #: comparison.  ``None`` preserves the historical sequential
+        #: draws bit for bit.
+        self.keyed = keyed
+        #: Optional observability hook (see :data:`TransportObserver`).
+        self.observer = observer
         self._backoff_rng = DeterministicRandom(seed, "transport", "backoff")
         self._next_uid = 0
         #: Parcel uids already delivered to the application at each receiver.
@@ -199,14 +221,38 @@ class ReliableTransport:
         if self.channel.codec is not None and parcel.frame is None:
             parcel.frame = self.channel.codec.encode(message.psr)
         outcome = self.channel.transmit(message, parcel.edge, frame=parcel.frame)
+        self._notify("attempt", parcel, attempt_index)
         if outcome is not None:
-            verdict = self.injector.attempt(
-                message.sender, message.receiver, parcel.edge, self.scheduler.now
-            )
-            for latency in verdict.latencies:
-                self.scheduler.call_later(
-                    latency, lambda m=outcome, p=parcel: self._arrive(p, m)
+            if self.keyed is not None:
+                kv = self.keyed.data_verdict(
+                    message.sender, message.receiver, parcel.edge, message.epoch, attempt_index
                 )
+                latencies: tuple[float, ...] = ()
+                if not kv.lost:
+                    latencies = self.keyed.data_latencies(
+                        message.sender,
+                        message.receiver,
+                        parcel.edge,
+                        message.epoch,
+                        attempt_index,
+                        kv.copies,
+                    )
+            else:
+                verdict = self.injector.attempt(
+                    message.sender, message.receiver, parcel.edge, self.scheduler.now
+                )
+                latencies = verdict.latencies
+            if not latencies:
+                self._notify("drop", parcel, attempt_index, cause="link")
+            for latency in latencies:
+                self.scheduler.call_later(
+                    latency,
+                    lambda m=outcome, p=parcel, a=attempt_index: self._arrive(p, m, a),
+                )
+        else:
+            # The channel itself swallowed the frame (adversary drop or
+            # decode failure) before the link lottery even ran.
+            self._notify("drop", parcel, attempt_index, cause="channel")
 
         # Arm the retransmission timer regardless of what the link did —
         # the sender cannot observe loss, only missing ACKs.
@@ -231,14 +277,31 @@ class ReliableTransport:
             return
         parcel.failed = True
         TransportStats._bump(self.stats.gave_up, parcel.edge)
+        self._notify("give_up", parcel, parcel.attempts - 1)
         if parcel.on_fail is not None:
             parcel.on_fail(parcel)
+
+    def _notify(self, kind: str, parcel: Parcel, attempt_index: int, **extra: object) -> None:
+        if self.observer is None:
+            return
+        message = parcel.message
+        attrs: dict = {
+            "time": self.scheduler.now,
+            "epoch": message.epoch,
+            "uid": parcel.uid,
+            "attempt": attempt_index,
+            "edge": parcel.edge.value,
+            "sender": message.sender,
+            "receiver": message.receiver,
+        }
+        attrs.update(extra)
+        self.observer(kind, attrs)
 
     # ------------------------------------------------------------------
     # Receiver side
     # ------------------------------------------------------------------
 
-    def _arrive(self, parcel: Parcel, message: DataMessage) -> None:
+    def _arrive(self, parcel: Parcel, message: DataMessage, attempt_index: int) -> None:
         receiver = message.receiver
         now = self.scheduler.now
         if self.injector.node_down(receiver, now):
@@ -246,22 +309,35 @@ class ReliableTransport:
         seen = self._seen.setdefault(receiver, set())
         if parcel.uid in seen:
             TransportStats._bump(self.stats.duplicates_suppressed, parcel.edge)
+            self._notify("duplicate", parcel, attempt_index)
         else:
             seen.add(parcel.uid)
             TransportStats._bump(self.stats.delivered, parcel.edge)
+            self._notify("deliver", parcel, attempt_index)
             if parcel.on_deliver is not None:
                 parcel.on_deliver(message, parcel.manifest)
         # The transport ACKs every copy (the sender may have missed the
         # previous ACK); the reverse direction suffers the same faults.
         TransportStats._bump(self.stats.acks_sent, parcel.edge)
-        verdict = self.injector.attempt(receiver, message.sender, parcel.edge, now)
-        if verdict.lost:
-            TransportStats._bump(self.stats.acks_lost, parcel.edge)
-            return
+        if self.keyed is not None:
+            if self.keyed.ack_verdict(
+                message.sender, receiver, parcel.edge, message.epoch, attempt_index
+            ):
+                TransportStats._bump(self.stats.acks_lost, parcel.edge)
+                self._notify("ack_lost", parcel, attempt_index)
+                return
+            delay = self.keyed.ack_latency(
+                message.sender, receiver, parcel.edge, message.epoch, attempt_index
+            )
+        else:
+            verdict = self.injector.attempt(receiver, message.sender, parcel.edge, now)
+            if verdict.lost:
+                TransportStats._bump(self.stats.acks_lost, parcel.edge)
+                self._notify("ack_lost", parcel, attempt_index)
+                return
+            delay = verdict.latencies[0]
         # Multiple ACK copies collapse into the first; extras are no-ops.
-        self.scheduler.call_later(
-            verdict.latencies[0], lambda p=parcel: self._ack(p)
-        )
+        self.scheduler.call_later(delay, lambda p=parcel: self._ack(p))
 
     def _ack(self, parcel: Parcel) -> None:
         if parcel.acked:

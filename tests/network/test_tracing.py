@@ -87,3 +87,56 @@ def test_event_json_big_ints_survive() -> None:
 def test_tracing_does_not_perturb_results() -> None:
     _, _, metrics = _traced_run(epochs=2)
     assert metrics.all_verified()
+
+
+def _simulator(epochs: int = 1) -> NetworkSimulator:
+    protocol = SIESProtocol(N, seed=3)
+    tree = build_complete_tree(N, 4)
+    workload = UniformWorkload(N, 1, 50, seed=4)
+    return NetworkSimulator(protocol, tree, workload, SimulationConfig(num_epochs=epochs))
+
+
+def test_double_attach_records_each_hop_once() -> None:
+    simulator = _simulator(epochs=1)
+    tracer = SimulationTracer()
+    tracer.attach(simulator.channel)
+    tracer.attach(simulator.channel)  # must be a no-op, not a second interceptor
+    metrics = simulator.run()
+    hops = sum(metrics.traffic.messages_by_class.values())
+    assert len(tracer.events) == hops
+
+
+def test_detach_stops_recording() -> None:
+    simulator = _simulator(epochs=1)
+    tracer = SimulationTracer()
+    tracer.attach(simulator.channel)
+    tracer.detach()
+    tracer.detach()  # idempotent
+    simulator.run()
+    assert tracer.events == []
+
+
+def test_two_run_reuse_scopes_events_per_run() -> None:
+    simulator = _simulator(epochs=1)
+    tracer = SimulationTracer()
+    tracer.attach(simulator.channel)
+    simulator.run()
+    first_run = list(tracer.events)
+    simulator.run()
+    # begin_run resets the trace: the second run neither accumulates the
+    # first run's events nor continues its sequence numbering.
+    assert len(tracer.events) == len(first_run)
+    assert tracer.events[0].sequence == 0
+    assert tracer.events == first_run  # same seed, same deterministic trace
+
+
+def test_attach_to_second_channel_detaches_from_first() -> None:
+    first = _simulator(epochs=1)
+    second = _simulator(epochs=1)
+    tracer = SimulationTracer()
+    tracer.attach(first.channel)
+    tracer.attach(second.channel)
+    first.run()
+    assert tracer.events == []  # no longer listening on the first channel
+    second.run()
+    assert tracer.events != []

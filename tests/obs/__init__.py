@@ -1,0 +1,1 @@
+"""Tests for repro.obs, the unified observability layer."""

@@ -1,0 +1,135 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms, exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import DEFAULT_LATENCY_BUCKETS, Histogram, MetricsRegistry
+
+
+def test_counter_accumulates_per_labelled_series() -> None:
+    registry = MetricsRegistry()
+    c = registry.counter("sies_frames_total", "frames", ("substrate", "edge"))
+    c.inc(3, substrate="runtime", edge="S-A")
+    c.inc(substrate="runtime", edge="S-A")
+    c.inc(7, substrate="cluster", edge="S-A")
+    assert c.value(substrate="runtime", edge="S-A") == 4
+    assert c.value(substrate="cluster", edge="S-A") == 7
+    assert c.value(substrate="cluster", edge="A-Q") == 0
+
+
+def test_counter_rejects_negative_increment() -> None:
+    c = MetricsRegistry().counter("sies_x_total", "x")
+    with pytest.raises(ParameterError, match="cannot decrease"):
+        c.inc(-1)
+
+
+def test_counter_rejects_wrong_label_set() -> None:
+    c = MetricsRegistry().counter("sies_x_total", "x", ("substrate",))
+    with pytest.raises(ParameterError, match="takes labels"):
+        c.inc(1, edge="S-A")
+
+
+def test_gauge_sets_and_overwrites() -> None:
+    g = MetricsRegistry().gauge("sies_rate", "rate", ("substrate",))
+    g.set(0.25, substrate="runtime")
+    g.set(0.75, substrate="runtime")
+    assert g.value(substrate="runtime") == 0.75
+
+
+def test_metric_names_are_validated() -> None:
+    with pytest.raises(ParameterError, match="invalid metric name"):
+        MetricsRegistry().counter("bad name", "x")
+    with pytest.raises(ParameterError, match="invalid metric name"):
+        MetricsRegistry().counter("1starts_with_digit", "x")
+
+
+def test_get_or_create_is_idempotent_but_conflicts_raise() -> None:
+    registry = MetricsRegistry()
+    first = registry.counter("sies_x_total", "x", ("substrate",))
+    assert registry.counter("sies_x_total", "x", ("substrate",)) is first
+    with pytest.raises(ParameterError, match="already registered as counter"):
+        registry.gauge("sies_x_total", "x", ("substrate",))
+    with pytest.raises(ParameterError, match="registered with labels"):
+        registry.counter("sies_x_total", "x", ("edge",))
+
+
+def test_histogram_bins_into_fixed_cumulative_buckets() -> None:
+    h = Histogram("sies_lat", "latency", bounds=(1.0, 5.0, 10.0))
+    for value in (0.5, 1.0, 4.0, 10.0, 11.0):
+        h.observe(value)
+    snap = h.snapshot()
+    # Per-bucket (non-cumulative) placement: <=1, <=5, <=10, +Inf.
+    assert snap["counts"] == [2, 1, 1, 1]
+    assert snap["sum"] == pytest.approx(26.5)
+    assert snap["count"] == 5
+
+
+def test_histogram_rejects_bad_bounds_and_redefinition() -> None:
+    with pytest.raises(ParameterError, match="at least one bucket"):
+        Histogram("sies_h", "h", bounds=())
+    with pytest.raises(ParameterError, match="strictly increasing"):
+        Histogram("sies_h", "h", bounds=(1.0, 1.0))
+    registry = MetricsRegistry()
+    registry.histogram("sies_h", "h", bounds=(1.0, 2.0))
+    with pytest.raises(ParameterError, match="cannot be redefined"):
+        registry.histogram("sies_h", "h", bounds=(1.0, 3.0))
+
+
+def test_default_latency_buckets_are_strictly_increasing() -> None:
+    assert all(a < b for a, b in zip(DEFAULT_LATENCY_BUCKETS, DEFAULT_LATENCY_BUCKETS[1:]))
+
+
+def test_prometheus_snapshot() -> None:
+    """Byte-exact exposition format for a small fixed registry."""
+    registry = MetricsRegistry()
+    c = registry.counter("sies_frames_total", "Frames observed", ("substrate",))
+    c.inc(3, substrate="runtime")
+    g = registry.gauge("sies_delivery_rate", "Delivery rate", ("substrate",))
+    g.set(0.5, substrate="runtime")
+    h = registry.histogram("sies_latency", "Latency", (1.0, 10.0), ("substrate",))
+    h.observe(0.5, substrate="runtime")
+    h.observe(4.0, substrate="runtime")
+    h.observe(99.0, substrate="runtime")
+    assert registry.render_prometheus() == (
+        "# HELP sies_delivery_rate Delivery rate\n"
+        "# TYPE sies_delivery_rate gauge\n"
+        'sies_delivery_rate{substrate="runtime"} 0.5\n'
+        "# HELP sies_frames_total Frames observed\n"
+        "# TYPE sies_frames_total counter\n"
+        'sies_frames_total{substrate="runtime"} 3\n'
+        "# HELP sies_latency Latency\n"
+        "# TYPE sies_latency histogram\n"
+        'sies_latency_bucket{substrate="runtime",le="1"} 1\n'
+        'sies_latency_bucket{substrate="runtime",le="10"} 2\n'
+        'sies_latency_bucket{substrate="runtime",le="+Inf"} 3\n'
+        'sies_latency_sum{substrate="runtime"} 103.5\n'
+        'sies_latency_count{substrate="runtime"} 3\n'
+    )
+
+
+def test_prometheus_escapes_label_values() -> None:
+    registry = MetricsRegistry()
+    registry.counter("sies_x_total", "x", ("tag",)).inc(1, tag='a"b\\c\nd')
+    line = registry.render_prometheus().splitlines()[-1]
+    assert line == 'sies_x_total{tag="a\\"b\\\\c\\nd"} 1'
+
+
+def test_json_render_is_serializable_and_complete() -> None:
+    registry = MetricsRegistry()
+    registry.counter("sies_x_total", "x", ("substrate",)).inc(2, substrate="cluster")
+    registry.histogram("sies_h", "h", (1.0,), ("substrate",)).observe(0.5, substrate="cluster")
+    doc = json.loads(json.dumps(registry.render_json()))
+    assert doc["sies_x_total"]["series"] == [{"labels": ["cluster"], "value": 2}]
+    assert doc["sies_h"]["buckets"] == [1.0]
+    assert doc["sies_h"]["series"][0]["counts"] == [1, 0]
+
+
+def test_empty_registry_renders_empty() -> None:
+    registry = MetricsRegistry()
+    assert registry.render_prometheus() == ""
+    assert registry.render_json() == {}
+    assert registry.names() == []

@@ -10,6 +10,7 @@ accounting honest: HMAC charges only for derivations that actually ran.
 from __future__ import annotations
 
 import random
+import warnings
 
 import pytest
 
@@ -38,6 +39,7 @@ def _reference(keys: SIESKeyMaterial, epoch: int, source_id: int) -> tuple[int, 
     )
 
 
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")  # thrash is exercised on purpose
 @pytest.mark.parametrize("case", range(CASES))
 def test_cached_schedule_equals_direct_recomputation(case: int) -> None:
     rng = random.Random(5200 + case)
@@ -126,6 +128,49 @@ def test_lru_eviction_prefers_least_recently_used() -> None:
     cache.master_key_at(3)  # evicts epoch 2, not epoch 1
     assert set(cache.cached_epochs) == {1, 3}
     assert cache.evictions == 1
+
+
+def test_prefetch_thrash_warns_and_is_counted() -> None:
+    keys, _ = _material(random.Random(12))
+    cache = KeyScheduleCache(keys, capacity=2)
+    with pytest.warns(RuntimeWarning, match="thrash"):
+        cache.prefetch([1, 2, 3, 4, 5])
+    # Every epoch beyond capacity evicted one the call itself warmed.
+    assert cache.stats()["thrash"] == 3
+    assert cache.stats()["evictions"] == 3
+    assert len(cache.cached_epochs) <= 2
+
+
+def test_prefetch_strict_raises_instead_of_thrashing() -> None:
+    keys, _ = _material(random.Random(13))
+    cache = KeyScheduleCache(keys, capacity=2)
+    with pytest.raises(ParameterError, match="thrash"):
+        cache.prefetch([1, 2, 3], strict=True)
+    # strict raises before warming anything: no work wasted.
+    assert cache.stats()["thrash"] == 0
+    assert cache.stats()["misses"] == 0
+
+
+def test_prefetch_within_capacity_is_silent() -> None:
+    keys, _ = _material(random.Random(14))
+    cache = KeyScheduleCache(keys, capacity=4)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        cache.prefetch([1, 2, 3, 4], strict=True)
+    assert cache.stats()["thrash"] == 0
+    # Duplicate epochs in the window don't inflate the distinct count.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        cache.prefetch([1, 1, 2, 2, 3, 3], strict=True)
+
+
+def test_eviction_outside_prefetch_is_not_thrash() -> None:
+    keys, _ = _material(random.Random(15))
+    cache = KeyScheduleCache(keys, capacity=2)
+    for epoch in (1, 2, 3, 4):
+        cache.master_key_at(epoch)
+    assert cache.stats()["evictions"] == 2
+    assert cache.stats()["thrash"] == 0
 
 
 def test_cache_rejects_bad_parameters() -> None:

@@ -129,3 +129,47 @@ def test_verdict_outcomes_do_not_shift_the_stream() -> None:
     assert [v.latencies for v in quiet_verdicts[5:]] == [
         v.latencies for v in bursty_verdicts[5:]
     ]
+
+
+class TestKeyedFaultInjector:
+    """The keyed oracle shared with (and extracted from) the TCP cluster."""
+
+    def test_matches_the_cluster_injector_draw_for_draw(self) -> None:
+        from repro.cluster.faults import StreamFaultInjector
+        from repro.runtime.faults import KeyedFaultInjector
+
+        plan = FaultPlan.uniform_loss(0.3, duplicate_rate=0.1)
+        keyed = KeyedFaultInjector(plan, seed=11)
+        stream = StreamFaultInjector(plan, seed=11)
+        edge = EdgeClass.SOURCE_TO_AGGREGATOR
+        for uid in (1, 2, 900):
+            for attempt in range(3):
+                assert keyed.data_verdict(0, 1, edge, uid, attempt) == stream.data_verdict(
+                    0, 1, edge, uid, attempt
+                )
+                assert keyed.ack_verdict(0, 1, edge, uid, attempt) == stream.ack_verdict(
+                    0, 1, edge, uid, attempt
+                )
+
+    def test_latency_draws_are_keyed_and_profile_bounded(self) -> None:
+        from repro.runtime.faults import KeyedFaultInjector
+
+        plan = FaultPlan.uniform_loss(0.0, latency=2.0, jitter=0.5)
+        keyed = KeyedFaultInjector(plan, seed=3)
+        edge = EdgeClass.SOURCE_TO_AGGREGATOR
+        first = keyed.data_latencies(0, 1, edge, 7, 0, 2)
+        again = keyed.data_latencies(0, 1, edge, 7, 0, 2)
+        assert first == again  # pure function of the coordinate
+        assert all(2.0 <= lat <= 2.5 for lat in first)
+        assert 2.0 <= keyed.ack_latency(0, 1, edge, 7, 0) <= 2.5
+        # Latency draws must not perturb the loss/duplication streams.
+        assert keyed.data_verdict(0, 1, edge, 7, 0) == keyed.data_verdict(0, 1, edge, 7, 0)
+
+    def test_rejects_time_windowed_features(self) -> None:
+        from repro.errors import ConfigurationError
+        from repro.runtime.faults import KeyedFaultInjector
+
+        with pytest.raises(ConfigurationError):
+            KeyedFaultInjector(FaultPlan(bursts=(BurstLoss(start=0.0, end=5.0),)))
+        with pytest.raises(ConfigurationError):
+            KeyedFaultInjector(FaultPlan(outages=(NodeOutage(node_id=3, start=0.0),)))

@@ -144,3 +144,71 @@ def test_parser_rejects_unknown(capsys) -> None:
         build_parser().parse_args(["experiment", "fig99"])
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_trace_command_records_and_writes_jsonl(tmp_path, capsys) -> None:
+    out_path = tmp_path / "runtime.jsonl"
+    assert main(["trace", "--substrate", "runtime", "--sources", "8", "--fanout", "2",
+                 "--epochs", "2", "--loss", "0.2", "--seed", "7",
+                 "--output", str(out_path)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    lines = out_path.read_text().splitlines()
+    assert lines and all('"sub":"runtime"' in line for line in lines)
+
+
+def test_trace_command_prints_events_and_filters(capsys) -> None:
+    import json
+
+    assert main(["trace", "--substrate", "network", "--sources", "8", "--fanout", "2",
+                 "--epochs", "2", "--seed", "7", "--epoch", "2"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    events = [json.loads(line) for line in lines]
+    assert events and all(e["epoch"] == 2 and e["kind"] == "send" for e in events)
+
+
+def test_trace_command_dispositions(capsys) -> None:
+    import json
+
+    assert main(["trace", "--substrate", "runtime", "--sources", "8", "--fanout", "2",
+                 "--epochs", "2", "--loss", "0.2", "--seed", "7",
+                 "--dispositions"]) == 0
+    slices = json.loads(capsys.readouterr().out)
+    assert set(slices) == {"1", "2"}
+    assert set(slices["1"]) == {"delivered", "dropped", "late", "decode_failures"}
+
+
+def test_trace_command_diff_agreement_and_divergence(tmp_path, capsys) -> None:
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    # 55% loss: some hops lose all five ARQ attempts, so different seeds
+    # produce genuinely different determined slices.
+    common = ["--sources", "8", "--fanout", "2", "--epochs", "3", "--loss", "0.55"]
+    assert main(["trace", "--substrate", "runtime", *common, "--seed", "7",
+                 "--output", str(a)]) == 0
+    assert main(["trace", "--substrate", "runtime", *common, "--seed", "8",
+                 "--output", str(b)]) == 0
+    capsys.readouterr()
+    assert main(["trace", "--input", str(a), "--diff", str(a)]) == 0
+    assert "agree" in capsys.readouterr().out
+    assert main(["trace", "--input", str(a), "--diff", str(b)]) == 1
+    assert "difference" in capsys.readouterr().out
+
+
+def test_metrics_command_prometheus(capsys) -> None:
+    assert main(["metrics", "--substrate", "runtime", "--sources", "8", "--fanout", "2",
+                 "--epochs", "2", "--loss", "0.2", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE sies_epochs_total counter" in out
+    assert 'sies_epochs_total{substrate="runtime"} 2' in out
+    assert "# TYPE sies_completion_latency histogram" in out
+    assert 'le="+Inf"' in out
+
+
+def test_metrics_command_json_all_substrates_share_names(capsys) -> None:
+    import json
+
+    assert main(["metrics", "--substrate", "network", "--sources", "8", "--fanout", "2",
+                 "--epochs", "1", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["sies_epochs_total"]["series"] == [{"labels": ["network"], "value": 1}]
+    assert "sies_traffic_bytes_total" in doc and "sies_acceptance_rate" in doc
